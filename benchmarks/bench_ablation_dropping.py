@@ -1,0 +1,48 @@
+"""Ablation A3 — event-driven fault dropping.
+
+Section 2.2: "Fault dropping is very important in concurrent fault
+simulation because dropped fault effects should be eliminated as soon as
+possible."  Dropping changes no detection, only work and live elements.
+"""
+
+import pytest
+
+from conftest import SCALE, run_once
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM_V
+from repro.harness.runner import workload_circuit, workload_tests
+
+CIRCUITS = ("s298", "s526")
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+@pytest.mark.parametrize("dropping", (True, False), ids=("drop", "no-drop"))
+def test_dropping_ablation(benchmark, name, dropping):
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    options = CSIM_V.with_(drop_detected=dropping)
+
+    def run():
+        return ConcurrentFaultSimulator(circuit, options=options).run(tests)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        circuit=name,
+        dropping=dropping,
+        fault_evaluations=result.counters.fault_evaluations,
+        final_elements=result.memory.live_elements,
+    )
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_dropping_preserves_results_and_cuts_work(name):
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    dropped = ConcurrentFaultSimulator(
+        circuit, options=CSIM_V.with_(drop_detected=True)
+    ).run(tests)
+    kept = ConcurrentFaultSimulator(
+        circuit, options=CSIM_V.with_(drop_detected=False)
+    ).run(tests)
+    assert dropped.detected == kept.detected
+    assert dropped.counters.fault_evaluations <= kept.counters.fault_evaluations

@@ -1,0 +1,72 @@
+"""Ablation A1 — macro extraction (the ``-M`` improvement).
+
+Section 2.2's claims: macros cut evaluation work *and*, on large circuits,
+memory (elements collapse); on small circuits memory may rise slightly
+(table overhead).  Benchmarked as csim-V vs csim-MV on a small and a large
+workload, plus a sweep over the macro input cap.
+"""
+
+import pytest
+
+from conftest import SCALE, run_once
+from repro.circuit.macro import extract_macros
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM_MV, CSIM_V
+from repro.harness.runner import workload_circuit, workload_tests
+
+CIRCUITS = ("s298", "s1238")
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+@pytest.mark.parametrize("variant", ("csim-V", "csim-MV"))
+def test_macro_ablation(benchmark, name, variant):
+    """Simulation time only: the engine (and for -MV, its functional-fault
+    tables) is built once outside the timed region, as a simulator reused
+    across test sets would amortize it."""
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    options = CSIM_MV if variant == "csim-MV" else CSIM_V
+    simulator = ConcurrentFaultSimulator(circuit, options=options)
+
+    def run():
+        simulator.reset()
+        return simulator.run(tests)
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        circuit=name,
+        variant=variant,
+        peak_elements=result.memory.peak_elements,
+        work=result.counters.total_work(),
+    )
+
+
+@pytest.mark.parametrize("cap", (2, 4, 6))
+def test_macro_cap_sweep(benchmark, cap):
+    """How the input cap trades table size against collapsed gates."""
+    circuit = workload_circuit("s526", SCALE)
+    tests = workload_tests("s526", SCALE, "deterministic")
+    options = CSIM_MV.with_(macro_max_inputs=cap)
+
+    def run():
+        return ConcurrentFaultSimulator(circuit, options=options).run(tests)
+
+    result = run_once(benchmark, run)
+    macro = extract_macros(circuit, cap)
+    benchmark.extra_info.update(
+        cap=cap,
+        regions=len(macro.regions),
+        flat_gates=circuit.num_combinational,
+        work=result.counters.total_work(),
+    )
+
+
+def test_macro_reduces_evaluation_work():
+    """The core claim, asserted deterministically."""
+    circuit = workload_circuit("s1238", SCALE)
+    tests = workload_tests("s1238", SCALE, "deterministic")
+    flat = ConcurrentFaultSimulator(circuit, options=CSIM_V).run(tests)
+    macro = ConcurrentFaultSimulator(circuit, options=CSIM_MV).run(tests)
+    assert macro.detected == flat.detected
+    assert macro.counters.good_evaluations < flat.counters.good_evaluations
+    assert macro.counters.fault_evaluations <= flat.counters.fault_evaluations

@@ -1,0 +1,96 @@
+"""Ablation A4 — arbitrary-delay event-driven simulation.
+
+Section 2's generality argument: concurrent simulation's home turf is
+arbitrary-delay simulation, which pattern-parallel methods cannot do.
+This benchmarks the two-phase timing-queue simulator against the
+zero-delay cycle simulator on the same workloads, and measures how delay
+spread (glitching) grows event counts.
+"""
+
+import pytest
+
+from conftest import SCALE, run_once
+from repro.harness.runner import workload_circuit, workload_tests
+from repro.sim.delays import random_delays, typed_delays, unit_delays
+from repro.sim.eventsim import EventSimulator
+from repro.sim.logicsim import LogicSimulator
+
+CIRCUIT = "s526"
+
+
+def _period(circuit, delays):
+    return delays.max_delay * circuit.num_levels + 5
+
+
+@pytest.mark.parametrize(
+    "model_name,model_factory",
+    [("unit", unit_delays), ("typed", typed_delays), ("random", random_delays)],
+)
+def test_eventsim_delay_models(benchmark, model_name, model_factory):
+    circuit = workload_circuit(CIRCUIT, SCALE)
+    tests = workload_tests(CIRCUIT, SCALE, "random", length=50)
+    delays = model_factory(circuit)
+
+    def run():
+        sim = EventSimulator(circuit, delays)
+        sim.run_sequence(tests.vectors, period=_period(circuit, delays))
+        return sim
+
+    sim = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        model=model_name,
+        events=sim.events_processed,
+        evaluations=sim.evaluations,
+    )
+
+
+def test_zero_delay_baseline(benchmark):
+    circuit = workload_circuit(CIRCUIT, SCALE)
+    tests = workload_tests(CIRCUIT, SCALE, "random", length=50)
+
+    def run():
+        return LogicSimulator(circuit).run(tests.vectors)
+
+    run_once(benchmark, run)
+
+
+def test_concurrent_arbitrary_delay_fault_sim(benchmark):
+    """The paradigm's home turf: one concurrent pass over the whole fault
+    universe under arbitrary delays, against which serial per-fault event
+    simulation is hopeless (see the work-counter comparison in
+    tests/test_event_engine.py)."""
+    from repro.concurrent.event_engine import ConcurrentEventFaultSimulator
+
+    circuit = workload_circuit("s298", SCALE)
+    tests = workload_tests("s298", SCALE, "random", length=40)
+    delays = typed_delays(circuit)
+    period = delays.max_delay * circuit.num_levels + 5
+
+    def run():
+        return ConcurrentEventFaultSimulator(circuit, delays=delays).run(
+            tests.vectors, period
+        )
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        coverage=round(100.0 * result.coverage, 2),
+        events=result.counters.events,
+        work=result.counters.total_work(),
+    )
+
+
+def test_delay_models_change_activity_not_function():
+    """Different delay assignments reshuffle transient activity (glitches
+    appear and disappear with path-delay differences) but, at an ample
+    clock period, never the sampled behaviour."""
+    circuit = workload_circuit(CIRCUIT, SCALE)
+    tests = workload_tests(CIRCUIT, SCALE, "random", length=30)
+    unit_model = unit_delays(circuit)
+    uniform = EventSimulator(circuit, unit_model)
+    sampled_uniform = uniform.run_sequence(tests.vectors, _period(circuit, unit_model))
+    spread_model = random_delays(circuit, lo=1, hi=8)
+    spread = EventSimulator(circuit, spread_model)
+    sampled_spread = spread.run_sequence(tests.vectors, _period(circuit, spread_model))
+    assert sampled_uniform == sampled_spread
+    assert uniform.events_processed > 0 and spread.events_processed > 0
+    assert uniform.events_processed != spread.events_processed

@@ -1,0 +1,51 @@
+"""Table 2 — benchmark circuit statistics.
+
+Regenerates the paper's circuit/fault inventory: per circuit, the gate,
+flip-flop and collapsed-fault counts plus the deterministic test-set size.
+The benchmark times universe construction + collapsing (the preprocessing
+every simulator run pays once).
+"""
+
+import pytest
+
+from conftest import SCALE, TABLE3_SUBSET, run_once
+from repro.circuit.stats import circuit_stats
+from repro.faults.universe import stuck_at_universe
+from repro.harness.runner import workload_circuit, workload_tests
+
+
+@pytest.mark.parametrize("name", TABLE3_SUBSET)
+def test_fault_universe_construction(benchmark, name):
+    circuit = workload_circuit(name, SCALE)
+    faults = run_once(benchmark, stuck_at_universe, circuit)
+    stats = circuit_stats(circuit)
+    assert len(faults) > stats.num_gates  # at least one fault per gate
+    benchmark.extra_info.update(
+        circuit=name,
+        gates=stats.num_gates,
+        dffs=stats.num_dffs,
+        collapsed_faults=len(faults),
+    )
+
+
+@pytest.mark.parametrize("name", TABLE3_SUBSET)
+def test_table2_row(benchmark, name):
+    """The full Table 2 row: stats + universe + test-set length."""
+
+    def row():
+        circuit = workload_circuit(name, SCALE)
+        stats = circuit_stats(circuit)
+        faults = stuck_at_universe(circuit)
+        tests = workload_tests(name, SCALE, "deterministic")
+        return stats, faults, tests
+
+    stats, faults, tests = run_once(benchmark, row)
+    benchmark.extra_info.update(
+        circuit=name,
+        pis=stats.num_inputs,
+        pos=stats.num_outputs,
+        dffs=stats.num_dffs,
+        gates=stats.num_gates,
+        faults=len(faults),
+        patterns=len(tests),
+    )

@@ -1,0 +1,55 @@
+"""Table 3 — deterministic patterns (I): every engine on the same tests.
+
+The paper's comparison: csim / csim-V / csim-M / csim-MV / PROOFS over the
+deterministic test sets, reporting CPU and memory.  Claims encoded as
+assertions: all engines agree on detections; the improved variants do less
+work than base csim (work counters, which are deterministic, stand in for
+the paper's CPU column; wall time is also recorded).
+"""
+
+import pytest
+
+from conftest import SCALE, TABLE3_SUBSET, run_once
+from repro.harness.runner import run_stuck_at, workload_circuit, workload_tests
+
+ENGINES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS")
+
+
+@pytest.mark.parametrize("name", TABLE3_SUBSET)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_table3_engine(benchmark, name, engine):
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    result = run_once(benchmark, run_stuck_at, circuit, tests, engine)
+    benchmark.extra_info.update(
+        circuit=name,
+        engine=engine,
+        patterns=len(tests),
+        coverage=round(100.0 * result.coverage, 2),
+        peak_mb=round(result.memory.peak_megabytes, 4),
+        work=result.counters.total_work(),
+    )
+
+
+@pytest.mark.parametrize("name", TABLE3_SUBSET)
+def test_table3_consistency_and_shape(name):
+    """Not a timing benchmark: the table's correctness and shape claims."""
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    results = {
+        engine: run_stuck_at(circuit, tests, engine) for engine in ENGINES
+    }
+    detections = {engine: result.detected for engine, result in results.items()}
+    reference = detections["csim"]
+    for engine, detected in detections.items():
+        assert detected == reference, f"{engine} disagrees on {name}"
+    # Section 2.2: splitting the lists reduces the elements examined.
+    assert (
+        results["csim-V"].counters.element_visits
+        <= results["csim"].counters.element_visits
+    )
+    # Macro extraction reduces good-machine evaluations (fewer gates).
+    assert (
+        results["csim-M"].counters.good_evaluations
+        <= results["csim"].counters.good_evaluations
+    )

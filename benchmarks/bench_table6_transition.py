@@ -1,0 +1,43 @@
+"""Table 6 — transition-fault simulation of the stuck-at test sets.
+
+The paper's finding: "The stuck at tests are not good tests for transition
+faults.  Fault coverages are in general much less than 50%."  The benchmark
+times the two-pass concurrent transition engine; the shape test asserts
+the coverage gap.
+"""
+
+import pytest
+
+from conftest import SCALE, TABLE6_SUBSET, run_once
+from repro.faults.transition import all_transition_faults
+from repro.harness.runner import (
+    run_stuck_at,
+    run_transition,
+    workload_circuit,
+    workload_tests,
+)
+
+
+@pytest.mark.parametrize("name", TABLE6_SUBSET)
+def test_table6_transition_simulation(benchmark, name):
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    result = run_once(benchmark, run_transition, circuit, tests)
+    benchmark.extra_info.update(
+        circuit=name,
+        faults=len(all_transition_faults(circuit)),
+        patterns=len(tests),
+        coverage=round(100.0 * result.coverage, 2),
+        peak_mb=round(result.memory.peak_megabytes, 4),
+    )
+
+
+@pytest.mark.parametrize("name", TABLE6_SUBSET)
+def test_table6_stuck_tests_are_poor_transition_tests(name):
+    """Transition coverage of a stuck-at test set trails its stuck-at
+    coverage — the observation motivating the paper's Section 3."""
+    circuit = workload_circuit(name, SCALE)
+    tests = workload_tests(name, SCALE, "deterministic")
+    stuck = run_stuck_at(circuit, tests, "csim-MV")
+    transition = run_transition(circuit, tests)
+    assert transition.coverage <= stuck.coverage

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Workloads are deterministic and cached (see ``repro.harness.runner``), so a
+benchmark measures engine time only.  ``REPRO_BENCH_SCALE`` (default 0.25)
+shrinks the synthetic circuits proportionally; set it to 1.0 to run the
+paper-scale workloads (slow in pure Python — hours, not minutes).
+
+Every benchmark runs the engine once per round (``pedantic`` with a single
+iteration): fault simulation of a whole test set is a macro-benchmark, and
+the deterministic work counters — not sub-millisecond timing noise — carry
+the comparison.
+"""
+
+import os
+
+import pytest
+
+#: Circuit scale for all benchmark workloads.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: Circuits benchmarked per table (small-to-mid subset; override per file).
+TABLE3_SUBSET = ("s298", "s344", "s382", "s526")
+TABLE4_SUBSET = ("s298", "s344", "s382")
+TABLE6_SUBSET = ("s298", "s344", "s382")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a macro-benchmark: one warm-up-free invocation per round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def scale():
+    return SCALE

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Deterministic ATPG with PODEM: full classification of a fault universe.
+
+The paper's Table 4 tests came from the authors' deterministic test
+generator (reference [14]).  This example runs the combinational core of
+such a flow on a generated combinational circuit: for every collapsed
+stuck-at fault, PODEM either produces a vector or *proves* the fault
+untestable (redundant), so the final classification is complete —
+``detected ∪ redundant = universe`` — something no amount of random
+pattern generation can promise.
+
+The generated set is then post-compacted (coverage-exact) and compared
+against random patterns of the same length.
+
+Run:  python examples/combinational_atpg.py
+"""
+
+import random
+
+from repro.baselines.deductive import simulate_deductive
+from repro.circuit.generate import random_circuit
+from repro.faults import fault_name, stuck_at_universe
+from repro.harness.reporting import format_table
+from repro.patterns import (
+    compact_tests,
+    generate_deterministic_tests,
+    random_sequence,
+)
+
+
+def main() -> None:
+    circuit = random_circuit(
+        random.Random(2718), num_inputs=8, num_gates=60, num_dffs=0,
+        num_outputs=14, name="comb60",
+    )
+    faults = stuck_at_universe(circuit)
+    print(f"{circuit!r}: {len(faults)} collapsed stuck-at faults\n")
+
+    tests, redundant, aborted = generate_deterministic_tests(circuit, faults)
+    assert not aborted
+    atpg = simulate_deductive(circuit, tests.vectors, faults)
+    print(
+        f"PODEM: {len(tests)} vectors, {atpg.num_detected} detected, "
+        f"{len(redundant)} proven redundant "
+        f"(classification complete: {atpg.num_detected + len(redundant)}"
+        f"/{len(faults)})"
+    )
+    if redundant:
+        print("redundant faults:", ", ".join(fault_name(circuit, f) for f in redundant[:6]),
+              "..." if len(redundant) > 6 else "")
+
+    compacted = compact_tests(circuit, tests, faults, block_length=4)
+    compacted_result = simulate_deductive(circuit, compacted.vectors, faults)
+    random_result = simulate_deductive(
+        circuit, random_sequence(circuit, len(compacted), seed=5).vectors, faults
+    )
+
+    print()
+    print(
+        format_table(
+            ["test set", "#vectors", "detected", "coverage %"],
+            [
+                ("PODEM", len(tests), atpg.num_detected, 100.0 * atpg.coverage),
+                (
+                    "PODEM + compaction",
+                    len(compacted),
+                    compacted_result.num_detected,
+                    100.0 * compacted_result.coverage,
+                ),
+                (
+                    "random, same length",
+                    len(compacted),
+                    random_result.num_detected,
+                    100.0 * random_result.coverage,
+                ),
+            ],
+        )
+    )
+    detectable = len(faults) - len(redundant)
+    print(
+        f"\nOf the {detectable} detectable faults, the deterministic set "
+        f"covers 100%;\nthe equal-length random set reaches "
+        f"{100.0 * random_result.num_detected / detectable:.1f}%."
+    )
+
+
+if __name__ == "__main__":
+    main()

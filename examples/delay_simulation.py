@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Arbitrary-delay simulation: hazards, critical paths, clock margins.
+
+The paper's case for concurrent simulation is its generality: "the circuit
+gates may have arbitrary but known propagation delays".  This example uses
+the two-phase event-driven simulator to (1) expose a static hazard that
+zero-delay simulation cannot see, and (2) find the minimum clock period of
+a benchmark circuit empirically by shrinking the period until the
+flip-flops start latching stale values.
+
+Run:  python examples/delay_simulation.py
+"""
+
+from repro import EventSimulator, LogicSimulator, load_circuit
+from repro.circuit.netlist import CircuitBuilder
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, ZERO
+from repro.patterns import random_sequence
+from repro.sim.delays import DelayModel, typed_delays
+
+
+def hazard_demo() -> None:
+    builder = CircuitBuilder("hazard")
+    builder.add_input("a")
+    builder.add_gate("n", GateType.NOT, ["a"])
+    builder.add_gate("g", GateType.AND, ["a", "n"])
+    builder.set_output("g")
+    circuit = builder.build()
+
+    delays = DelayModel(circuit, {circuit.index_of("n"): 5, circuit.index_of("g"): 1})
+    sim = EventSimulator(circuit, delays, record=True)
+    sim.set_input(0, ZERO, at_time=0)
+    sim.run()
+    sim.set_input(0, ONE, at_time=sim.time + 1)
+    sim.run()
+
+    g = circuit.index_of("g")
+    pulse = [(t, v) for t, gate, v in sim.trace if gate == g]
+    print("g = AND(a, NOT(a)) is constant 0 under zero delay, but with a")
+    print("slow inverter the rising edge of a produces a hazard pulse:")
+    for time, value in pulse:
+        print(f"  t={time}: g -> {value}")
+    print()
+
+
+def clock_margin_demo() -> None:
+    circuit = load_circuit("s298", scale=0.5)
+    delays = typed_delays(circuit)
+    tests = random_sequence(circuit, 40, seed=3)
+
+    reference = LogicSimulator(circuit)
+    expected = reference.run(tests.vectors)
+
+    print(f"Shrinking the clock period of {circuit.name} "
+          f"(levels={circuit.num_levels}, typed delays):")
+    critical = None
+    for period in range(delays.max_delay * circuit.num_levels + 5, 0, -5):
+        sim = EventSimulator(circuit, delays)
+        sampled = sim.run_sequence(tests.vectors, period)
+        ok = sampled == expected
+        if ok:
+            critical = period
+        else:
+            print(f"  period {period:4}: MISSAMPLES (stale/unknown values latched)")
+            break
+    print(f"  period {critical:4}: matches zero-delay functional behaviour")
+    print("\nThe event-driven engine models short-period operation honestly —")
+    print("exactly the physical behaviour behind the transition-fault model.")
+
+
+if __name__ == "__main__":
+    hazard_demo()
+    clock_margin_demo()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Hierarchical design entry and hierarchy-aware fault simulation.
+
+The paper's conclusion: "More efficient fault simulation is possible when
+hierarchical design information is utilized because the concurrent fault
+simulation method is inherently suited to hierarchical designs."
+
+This example builds a 4-bit ripple-carry accumulator out of full-adder
+modules, flattens it, and fault-simulates it three ways: flat (csim-V),
+with fanout-free macro extraction (csim-MV), and with macros preassigned
+along the *instance boundaries*.  The designer's blocks — full adders are
+reconvergent, so tree-growth can never capture them whole — collapse into
+single table-driven macros, cutting evaluations further.
+
+Run:  python examples/hierarchical_design.py
+"""
+
+from repro.circuit.hierarchy import HierarchicalBuilder, Module
+from repro.circuit.macro import extract_macros
+from repro.circuit.netlist import CircuitBuilder
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM_MV, CSIM_V, SimOptions
+from repro.harness.reporting import format_table
+from repro.logic.tables import GateType
+from repro.patterns import random_sequence
+
+WIDTH = 4
+
+
+def full_adder_sum():
+    builder = CircuitBuilder("fa_sum")
+    for name in ("a", "b", "cin"):
+        builder.add_input(name)
+    builder.add_gate("axb", GateType.XOR, ["a", "b"])
+    builder.add_gate("s", GateType.XOR, ["axb", "cin"])
+    builder.set_output("s")
+    return Module("fa_sum", builder.build())
+
+
+def full_adder_carry():
+    builder = CircuitBuilder("fa_carry")
+    for name in ("a", "b", "cin"):
+        builder.add_input(name)
+    builder.add_gate("ab", GateType.AND, ["a", "b"])
+    builder.add_gate("bc", GateType.AND, ["b", "cin"])
+    builder.add_gate("ca", GateType.AND, ["cin", "a"])
+    builder.add_gate("cout", GateType.OR, ["ab", "bc", "ca"])
+    builder.set_output("cout")
+    return Module("fa_carry", builder.build())
+
+
+def build_accumulator():
+    """acc <= clear ? 0 : acc + in; ripple carry, carry-out observed.
+
+    The synchronous clear is not decoration: an XOR accumulator is
+    X-opaque, so without it the register could never leave the unknown
+    power-up state and nothing would ever be detectable.
+    """
+    top = HierarchicalBuilder(f"acc{WIDTH}")
+    sum_module, carry_module = full_adder_sum(), full_adder_carry()
+    for bit in range(WIDTH):
+        top.add_input(f"in{bit}")
+    top.add_input("clear_n")
+    top.add_gate("c0", GateType.CONST0, [])
+    carry = "c0"
+    for bit in range(WIDTH):
+        bindings = {"a": f"in{bit}", "b": f"acc{bit}", "cin": carry}
+        top.add_instance(f"sum{bit}", sum_module, bindings)
+        top.add_instance(f"carry{bit}", carry_module, bindings)
+        top.add_gate(f"d{bit}", GateType.AND, [f"sum{bit}", "clear_n"])
+        top.add_dff(f"acc{bit}", f"d{bit}")
+        top.set_output(f"sum{bit}")
+        carry = f"carry{bit}"
+    top.set_output(carry)
+    return top.build()
+
+
+def main() -> None:
+    hierarchy = build_accumulator()
+    flat = hierarchy.flat
+    regions = hierarchy.instance_regions()
+    print(f"{flat!r}")
+    print(f"instances: {len(hierarchy.instances)}, "
+          f"eligible as macro regions: {len(regions)}\n")
+
+    tests = random_sequence(flat, 150, seed=3)
+    runs = []
+
+    flat_run = ConcurrentFaultSimulator(flat, options=CSIM_V).run(tests)
+    runs.append(("flat (csim-V)", flat_run, None))
+
+    ffr_macro = extract_macros(flat, max_inputs=4)
+    ffr_run = ConcurrentFaultSimulator(flat, options=CSIM_MV).run(tests)
+    runs.append(("fanout-free macros (csim-MV)", ffr_run, len(ffr_macro.regions)))
+
+    inst_macro = extract_macros(flat, max_inputs=4, preassigned=regions)
+    inst_run = ConcurrentFaultSimulator(
+        flat, options=SimOptions(split_lists=True), macro=inst_macro
+    ).run(tests)
+    runs.append(("instance-boundary macros", inst_run, len(inst_macro.regions)))
+
+    reference = flat_run.detected
+    for _, run, _ in runs:
+        assert run.detected == reference, "engines must agree"
+
+    print(
+        format_table(
+            ["partition", "regions", "good evals", "fault evals", "CPU s", "cvg %"],
+            [
+                (
+                    label,
+                    regions_count if regions_count is not None else flat.num_combinational,
+                    run.counters.good_evaluations,
+                    run.counters.fault_evaluations,
+                    run.wall_seconds,
+                    100.0 * run.coverage,
+                )
+                for label, run, regions_count in runs
+            ],
+            title="Hierarchy-aware macro partitioning (identical detections)",
+        )
+    )
+    print(
+        "\nFull adders are reconvergent, so fanout-free growth splits them;"
+        "\nthe instance boundaries hand the partitioner the designer's own"
+        "\nblocks and the evaluation counts drop again."
+    )
+
+
+if __name__ == "__main__":
+    main()

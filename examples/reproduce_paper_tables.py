@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate every table of the paper's evaluation section.
+
+Runs the Table 2-6 drivers from ``repro.harness.tables`` and prints the
+combined report.  ``--quick`` shrinks the circuit list and scale for a
+fast sanity run; ``--scale`` sets the synthetic-circuit scale (1.0 =
+published ISCAS-89 sizes; expect a long pure-Python run at full scale).
+
+Run:  python examples/reproduce_paper_tables.py [--quick] [--scale S]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import tables
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small subset, reduced scale")
+    parser.add_argument("--scale", type=float, default=None, help="circuit scale (default 1.0, or 0.25 with --quick)")
+    parser.add_argument("--out", type=str, default=None, help="also write the report to this file")
+    args = parser.parse_args()
+
+    scale = args.scale if args.scale is not None else (0.25 if args.quick else 1.0)
+    started = time.time()
+    report = tables.all_tables(scale=scale, quick=args.quick)
+    elapsed = time.time() - started
+    footer = (
+        f"\n(regenerated in {elapsed:.1f}s at scale={scale}; "
+        "run with --scale 1.0 for published circuit sizes)"
+    )
+    print(report + footer)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + footer + "\n")
+        print(f"\nreport written to {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Coverage-directed test generation for a sequential circuit.
+
+The scenario behind the paper's Tables 3/4: a test engineer needs a
+*compact* test set with high stuck-at coverage for a synchronous circuit.
+This example builds one with the greedy fault-simulation-guided generator,
+then shows the detection profile — most faults fall in the first vectors,
+which is exactly why event-driven fault dropping pays off.
+
+Run:  python examples/test_generation.py [circuit-name]
+"""
+
+import sys
+
+from repro import CSIM_MV, ConcurrentFaultSimulator, fault_name, load_circuit
+from repro.harness.reporting import format_table
+from repro.patterns import generate_tests, random_sequence
+from repro.patterns.vectors import format_vectors
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s298"
+    circuit = load_circuit(name, scale=0.5)
+    print(f"Generating tests for {circuit!r} ...")
+
+    tests, coverage = generate_tests(circuit, effort="high", seed=1992)
+    print(f"-> {len(tests)} vectors reach {100 * coverage:.1f}% stuck-at coverage\n")
+
+    # Replay through the csim-MV engine for the detection profile.
+    simulator = ConcurrentFaultSimulator(circuit, options=CSIM_MV)
+    result = simulator.run(tests)
+    profile = result.detection_profile()
+    buckets = {}
+    for cycle, count in profile.items():
+        buckets[(cycle - 1) // 16] = buckets.get((cycle - 1) // 16, 0) + count
+    print(
+        format_table(
+            ["vectors", "first detections"],
+            [(f"{16 * b + 1}-{16 * b + 16}", n) for b, n in sorted(buckets.items())],
+            title="Detection profile (front-loaded, as deterministic sets are)",
+        )
+    )
+
+    # Compare against plain random patterns of the same length.
+    random_result = ConcurrentFaultSimulator(circuit, options=CSIM_MV).run(
+        random_sequence(circuit, len(tests), seed=77)
+    )
+    print(
+        f"\nSame-length random set: {100 * random_result.coverage:.1f}% "
+        f"vs directed {100 * result.coverage:.1f}%"
+    )
+
+    hardest = result.undetected(simulator.faults)[:8]
+    if hardest:
+        print("\nSample undetected faults (ATPG targets):")
+        for fault in hardest:
+            print(f"  {fault_name(circuit, fault)}")
+
+    print("\nFirst vectors of the generated set:")
+    print(format_vectors(tests.prefix(min(8, len(tests)))))
+
+
+if __name__ == "__main__":
+    main()

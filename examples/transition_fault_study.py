@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Transition-fault study: how good are stuck-at tests at catching delays?
+
+Section 3 / Table 6 of the paper: transition (gross-delay) faults need the
+right two-cycle sequences, and test sets built for stuck-at coverage catch
+"in general much less than 50%" of them.  This example measures the gap on
+several circuits and breaks the detected transition faults down by
+direction (slow-to-rise vs slow-to-fall).
+
+Run:  python examples/transition_fault_study.py
+"""
+
+from repro import (
+    CSIM_MV,
+    ConcurrentFaultSimulator,
+    TransitionFaultSimulator,
+    all_transition_faults,
+    load_circuit,
+)
+from repro.faults.model import FaultKind
+from repro.harness.reporting import format_table
+from repro.patterns import generate_tests
+
+CIRCUITS = ("s27", "s298", "s344")
+
+
+def main() -> None:
+    rows = []
+    for name in CIRCUITS:
+        circuit = load_circuit(name, scale=0.5)
+        tests, _ = generate_tests(circuit, effort="standard", seed=1992)
+        stuck = ConcurrentFaultSimulator(circuit, options=CSIM_MV).run(tests)
+        faults = all_transition_faults(circuit)
+        transition = TransitionFaultSimulator(circuit, faults).run(tests)
+        rises = sum(
+            1
+            for fault in transition.detected
+            if fault.kind is FaultKind.SLOW_TO_RISE
+        )
+        falls = len(transition.detected) - rises
+        rows.append(
+            (
+                name,
+                len(tests),
+                100.0 * stuck.coverage,
+                100.0 * transition.coverage,
+                rises,
+                falls,
+            )
+        )
+
+    print(
+        format_table(
+            ["ckt", "#ptns", "stuck-at cvg%", "transition cvg%", "STR det", "STF det"],
+            rows,
+            title="Stuck-at test sets applied to the transition fault universe",
+        )
+    )
+    print(
+        "\nThe transition coverage trails the stuck-at coverage on every "
+        "circuit:\nstuck-at tests only need to excite a value, transition "
+        "tests need the\nright value *change* followed by propagation in "
+        "the same cycle."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on environments whose
+setuptools predates PEP 660 editable installs (configuration lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Gate-level circuit substrate.
+
+Netlist model, ISCAS-89 ``.bench`` I/O, levelization, statistics, macro
+extraction, synthetic benchmark generation, and the embedded benchmark
+library used by the paper-reproduction harness.
+"""
+
+from repro.circuit.netlist import Circuit, CircuitBuilder, Gate, NetlistError
+from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
+from repro.circuit.levelize import levelize, LevelizationError
+from repro.circuit.stats import CircuitStats, circuit_stats
+from repro.circuit.hierarchy import HierarchicalBuilder, HierarchicalCircuit, Module
+from repro.circuit.macro import MacroCircuit, Region, extract_macros
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "Gate",
+    "NetlistError",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "levelize",
+    "LevelizationError",
+    "CircuitStats",
+    "circuit_stats",
+    "HierarchicalBuilder",
+    "HierarchicalCircuit",
+    "Module",
+    "MacroCircuit",
+    "Region",
+    "extract_macros",
+]

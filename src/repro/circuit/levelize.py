@@ -1,0 +1,84 @@
+"""Levelization of the combinational network.
+
+Zero-delay fault simulation of a synchronous circuit needs gates evaluated
+"orderly according to its level, where the level of a gate is assigned so
+that all its fanins are at the lower levels" (Section 2.1).  Primary inputs
+and flip-flop outputs are the level-0 sources; every combinational gate gets
+level ``1 + max(level of fanins)``.  A combinational cycle (a feedback path
+not broken by a flip-flop) is a modelling error for this class of circuits
+and is reported with the offending gates named.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.circuit.netlist import Circuit
+from repro.logic.tables import GateType
+
+
+class LevelizationError(ValueError):
+    """Raised when the combinational part of a circuit contains a cycle."""
+
+
+def levelize(circuit: Circuit) -> None:
+    """Assign levels in-place and record the evaluation order on *circuit*.
+
+    Uses Kahn's algorithm over the combinational subgraph: edges from DFF
+    outputs are cut (a DFF's Q is a source; its D input is a sink), so only
+    true combinational feedback remains cyclic.
+    """
+    gates = circuit.gates
+    pending: List[int] = [0] * len(gates)
+    ready = deque()
+
+    for gate in gates:
+        if gate.gtype in (GateType.INPUT, GateType.DFF):
+            gate.level = 0
+            continue
+        # Count only combinational dependencies; sources are already settled.
+        count = sum(1 for src in gate.fanin if gates[src].gtype not in (GateType.INPUT, GateType.DFF))
+        pending[gate.index] = count
+        if count == 0:
+            gate.level = 1
+            ready.append(gate.index)
+
+    order: List[int] = []
+    max_level = 0
+    while ready:
+        index = ready.popleft()
+        gate = gates[index]
+        level = 1
+        for src in gate.fanin:
+            level = max(level, gates[src].level + 1)
+        gate.level = level
+        max_level = max(max_level, level)
+        order.append(index)
+        for sink in gate.fanout:
+            sink_gate = gates[sink]
+            if sink_gate.gtype in (GateType.INPUT, GateType.DFF):
+                continue
+            pending[sink] -= 1
+            if pending[sink] == 0:
+                ready.append(sink)
+
+    expected = sum(
+        1 for gate in gates if gate.gtype not in (GateType.INPUT, GateType.DFF)
+    )
+    if len(order) != expected:
+        stuck = [
+            gates[index].name
+            for index in range(len(gates))
+            if pending[index] > 0 and gates[index].gtype not in (GateType.INPUT, GateType.DFF)
+        ]
+        raise LevelizationError(
+            f"combinational cycle in {circuit.name!r} through gates: {', '.join(sorted(stuck)[:10])}"
+        )
+
+    # Stable level-major order: Kahn's queue already emits non-decreasing
+    # levels only for unit-delay-like graphs, so sort explicitly (stable on
+    # insertion order within a level, which keeps runs deterministic).
+    order.sort(key=lambda index: gates[index].level)
+    circuit.order = tuple(order)
+    circuit.num_levels = max_level

@@ -1,0 +1,122 @@
+"""The benchmark circuit library used by the reproduction harness.
+
+Two sources:
+
+* the real ISCAS-89 ``s27`` circuit, embedded verbatim (it is tiny and
+  appears in virtually every fault-simulation paper as the worked example);
+* deterministic synthetic stand-ins for the rest of the ISCAS-89 suite,
+  generated to the published PI/PO/DFF/gate counts of each circuit (see
+  DESIGN.md §3 for why this substitution preserves the paper's comparisons).
+
+``load(name)`` returns either kind; passing a filesystem path to a real
+``.bench`` file also works, so users with the actual suite get the genuine
+circuits.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.circuit.bench import parse_bench, parse_bench_file
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.circuit.netlist import Circuit
+
+#: The real ISCAS-89 s27 netlist.
+S27_BENCH = """
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+#: Published structural statistics of the ISCAS-89 circuits appearing in the
+#: paper's tables: (primary inputs, primary outputs, flip-flops, gates).
+#: These drive the synthetic stand-in profiles.
+ISCAS89_PROFILES: Dict[str, CircuitProfile] = {
+    name: CircuitProfile(name, pi, po, dff, gates)
+    for name, (pi, po, dff, gates) in {
+        "s298": (3, 6, 14, 119),
+        "s344": (9, 11, 15, 160),
+        "s349": (9, 11, 15, 161),
+        "s382": (3, 6, 21, 158),
+        "s386": (7, 7, 6, 159),
+        "s400": (3, 6, 21, 162),
+        "s444": (3, 6, 21, 181),
+        "s526": (3, 6, 21, 193),
+        "s641": (35, 24, 19, 379),
+        "s713": (35, 23, 19, 393),
+        "s820": (18, 19, 5, 289),
+        "s832": (18, 19, 5, 287),
+        "s1196": (14, 14, 18, 529),
+        "s1238": (14, 14, 18, 508),
+        "s1423": (17, 5, 74, 657),
+        "s1488": (8, 19, 6, 653),
+        "s1494": (8, 19, 6, 647),
+        "s5378": (35, 49, 179, 2779),
+        "s35932": (35, 320, 1728, 16065),
+    }.items()
+}
+
+#: Circuits appearing in each of the paper's tables, in table order.
+TABLE3_CIRCUITS = (
+    "s298",
+    "s344",
+    "s349",
+    "s382",
+    "s386",
+    "s400",
+    "s444",
+    "s526",
+    "s641",
+    "s713",
+    "s820",
+    "s832",
+    "s1196",
+    "s1238",
+    "s1488",
+    "s1494",
+    "s5378",
+    "s35932",
+)
+TABLE4_CIRCUITS = ("s298", "s344", "s382", "s400", "s444", "s526", "s1423", "s5378")
+TABLE5_CIRCUIT = "s35932"
+TABLE6_CIRCUITS = ("s298", "s344", "s382", "s444", "s526", "s1196", "s1488", "s5378")
+
+
+def available_circuits() -> List[str]:
+    """Names loadable through :func:`load`, smallest first."""
+    names = ["s27"] + sorted(ISCAS89_PROFILES, key=lambda name: ISCAS89_PROFILES[name].num_gates)
+    return names
+
+
+def load(name: str, scale: float = 1.0) -> Circuit:
+    """Load a benchmark circuit by name, path, or synthetic profile.
+
+    ``scale`` proportionally shrinks synthetic stand-ins (useful to keep CI
+    benchmark runs short); it is ignored for real netlists.
+    """
+    if name == "s27":
+        return parse_bench(S27_BENCH, name="s27")
+    if os.path.sep in name or name.endswith(".bench"):
+        return parse_bench_file(name)
+    profile = ISCAS89_PROFILES.get(name)
+    if profile is None:
+        raise KeyError(f"unknown benchmark circuit {name!r}; known: {available_circuits()}")
+    return generate_circuit(profile.scaled(scale))

@@ -1,0 +1,270 @@
+"""Gate-level netlist model for synchronous sequential circuits.
+
+The model is the one the paper assumes: a combinational network of primitive
+gates between primary inputs, D flip-flop outputs (present state) on one
+side and primary outputs, D flip-flop inputs (next state) on the other.
+Flip-flops are modelled as gates of type ``DFF`` whose single fanin is the
+``D`` signal and whose output is ``Q``; they act as level-0 sources for the
+combinational network and are updated only at cycle boundaries.
+
+Circuits are constructed through :class:`CircuitBuilder` and are immutable
+once built: every simulator keeps its own state arrays indexed by gate
+index, so a frozen structural skeleton shared across engines is both safe
+and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.tables import (
+    COMBINATIONAL_TYPES,
+    GateType,
+    MAX_TABLE_ARITY,
+    evaluate,
+)
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid circuits (bad fanin, cycles, ...)."""
+
+
+@dataclass
+class Gate:
+    """One netlist element.
+
+    ``fanin``/``fanout`` hold gate indices.  ``table`` is only populated for
+    ``MACRO`` gates: the packed-input truth table produced by macro
+    extraction.  ``macro_gates`` records, for a macro, the original gate
+    names it absorbed (used to report faults against the flat netlist).
+    """
+
+    index: int
+    name: str
+    gtype: GateType
+    fanin: Tuple[int, ...]
+    fanout: Tuple[int, ...] = ()
+    is_output: bool = False
+    level: int = -1
+    table: Optional[Tuple[int, ...]] = None
+    macro_gates: Tuple[str, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.fanin)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gate({self.index}, {self.name!r}, {self.gtype.name})"
+
+
+class Circuit:
+    """An immutable, levelized synchronous sequential circuit.
+
+    Attributes
+    ----------
+    gates:
+        All gates, indexed by :attr:`Gate.index`.
+    inputs / outputs / dffs:
+        Gate indices of primary inputs, primary outputs (gates whose value
+        is observed each cycle) and flip-flops.
+    order:
+        Combinational gate indices in non-decreasing level order; evaluating
+        gates in this order settles the combinational network in one pass.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        gates: List[Gate],
+        inputs: List[int],
+        outputs: List[int],
+        dffs: List[int],
+    ) -> None:
+        self.name = name
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        self.inputs: Tuple[int, ...] = tuple(inputs)
+        self.outputs: Tuple[int, ...] = tuple(outputs)
+        self.dffs: Tuple[int, ...] = tuple(dffs)
+        self._index_of: Dict[str, int] = {gate.name: gate.index for gate in self.gates}
+        # Filled by levelize(); stored here so every engine shares it.
+        self.order: Tuple[int, ...] = ()
+        self.num_levels: int = 0
+
+    # -- lookups ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def gate(self, name: str) -> Gate:
+        """Look a gate up by signal name."""
+        try:
+            return self.gates[self._index_of[name]]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r} in circuit {self.name!r}") from None
+
+    def has_gate(self, name: str) -> bool:
+        return name in self._index_of
+
+    def index_of(self, name: str) -> int:
+        return self.gate(name).index
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def combinational(self) -> Iterable[Gate]:
+        """Gates evaluated by combinational settling, in level order."""
+        return (self.gates[index] for index in self.order)
+
+    @property
+    def num_combinational(self) -> int:
+        return len(self.order)
+
+    def source_indices(self) -> Tuple[int, ...]:
+        """Level-0 sources of the combinational network (PIs then DFFs)."""
+        return self.inputs + self.dffs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}: {len(self.inputs)} PI, {len(self.outputs)} PO, "
+            f"{len(self.dffs)} DFF, {self.num_combinational} gates)"
+        )
+
+
+class CircuitBuilder:
+    """Incremental construction of a :class:`Circuit`.
+
+    Signals may be referenced before they are defined (netlist formats list
+    gates in arbitrary order); fanin resolution happens in :meth:`build`.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._gates: List[Tuple[str, GateType, Tuple[str, ...]]] = []
+        self._by_name: Dict[str, int] = {}
+        self._outputs: List[str] = []
+        self._macro_tables: Dict[str, Tuple[Tuple[int, ...], Tuple[str, ...]]] = {}
+
+    def _define(self, name: str, gtype: GateType, fanin: Sequence[str]) -> None:
+        if name in self._by_name:
+            raise NetlistError(f"signal {name!r} defined twice")
+        self._by_name[name] = len(self._gates)
+        self._gates.append((name, gtype, tuple(fanin)))
+
+    # -- element constructors -------------------------------------------
+
+    def add_input(self, name: str) -> None:
+        """Declare a primary input."""
+        self._define(name, GateType.INPUT, ())
+
+    def add_dff(self, name: str, d_signal: str) -> None:
+        """Declare a D flip-flop whose output is *name* and input *d_signal*."""
+        self._define(name, GateType.DFF, (d_signal,))
+
+    def add_gate(self, name: str, gtype: GateType, fanin: Sequence[str]) -> None:
+        """Declare a combinational gate driving signal *name*."""
+        if gtype not in COMBINATIONAL_TYPES:
+            raise NetlistError(f"{gtype} is not a combinational gate type")
+        if gtype in (GateType.BUF, GateType.NOT) and len(fanin) != 1:
+            raise NetlistError(f"{gtype.name} gate {name!r} must have exactly one fanin")
+        if gtype in (GateType.CONST0, GateType.CONST1) and fanin:
+            raise NetlistError(f"constant gate {name!r} must have no fanin")
+        if gtype is GateType.MACRO:
+            raise NetlistError("use add_macro() for MACRO gates")
+        if len(fanin) == 0 and gtype not in (GateType.CONST0, GateType.CONST1):
+            raise NetlistError(f"gate {name!r} has no fanin")
+        self._define(name, gtype, fanin)
+
+    def add_macro(
+        self,
+        name: str,
+        fanin: Sequence[str],
+        table: Sequence[int],
+        absorbed: Sequence[str] = (),
+    ) -> None:
+        """Declare a table-driven macro gate (produced by macro extraction)."""
+        arity = len(fanin)
+        if arity == 0 or arity > MAX_TABLE_ARITY:
+            raise NetlistError(f"macro {name!r} arity {arity} out of range")
+        if len(table) != 1 << (2 * arity):
+            raise NetlistError(f"macro {name!r} table has wrong size")
+        self._define(name, GateType.MACRO, fanin)
+        self._macro_tables[name] = (tuple(table), tuple(absorbed))
+
+    def set_output(self, name: str) -> None:
+        """Mark an existing or future signal as a primary output."""
+        self._outputs.append(name)
+
+    # -- finalization ----------------------------------------------------
+
+    def build(self) -> Circuit:
+        """Resolve names, compute fanout, validate, levelize and freeze."""
+        from repro.circuit.levelize import levelize  # local import: avoid cycle
+
+        index_of = {name: index for index, (name, _, _) in enumerate(self._gates)}
+        gates: List[Gate] = []
+        inputs: List[int] = []
+        dffs: List[int] = []
+
+        for index, (name, gtype, fanin_names) in enumerate(self._gates):
+            fanin: List[int] = []
+            for source in fanin_names:
+                if source not in index_of:
+                    raise NetlistError(f"gate {name!r} references undefined signal {source!r}")
+                fanin.append(index_of[source])
+            table, absorbed = self._macro_tables.get(name, (None, ()))
+            gates.append(
+                Gate(
+                    index=index,
+                    name=name,
+                    gtype=gtype,
+                    fanin=tuple(fanin),
+                    table=table,
+                    macro_gates=absorbed,
+                )
+            )
+            if gtype is GateType.INPUT:
+                inputs.append(index)
+            elif gtype is GateType.DFF:
+                dffs.append(index)
+
+        outputs: List[int] = []
+        seen_outputs = set()
+        for name in self._outputs:
+            if name not in index_of:
+                raise NetlistError(f"output {name!r} is not a defined signal")
+            if name in seen_outputs:
+                continue
+            seen_outputs.add(name)
+            outputs.append(index_of[name])
+        if not outputs:
+            raise NetlistError(f"circuit {self.name!r} declares no primary outputs")
+
+        fanout: Dict[int, List[int]] = {gate.index: [] for gate in gates}
+        for gate in gates:
+            for source in gate.fanin:
+                fanout[source].append(gate.index)
+        for gate in gates:
+            gate.fanout = tuple(fanout[gate.index])
+            if gate.is_output:
+                raise NetlistError("is_output must not be preset")
+        for index in outputs:
+            gates[index].is_output = True
+
+        circuit = Circuit(self.name, gates, inputs, outputs, dffs)
+        levelize(circuit)
+        return circuit
+
+
+def evaluate_gate(gate: Gate, input_values: Sequence[int]) -> int:
+    """Evaluate one gate over explicit three-valued input values.
+
+    Reference path used by the simple simulators and by table construction;
+    the concurrent engine uses packed-state lookups instead.
+    """
+    if gate.gtype is GateType.MACRO:
+        assert gate.table is not None
+        from repro.logic.tables import pack_inputs
+
+        return gate.table[pack_inputs(input_values)]
+    return evaluate(gate.gtype, input_values)

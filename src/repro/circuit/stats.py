@@ -1,0 +1,59 @@
+"""Circuit statistics in the shape of the paper's Table 2.
+
+Table 2 reports, per benchmark circuit: primary inputs, primary outputs,
+flip-flops, gate count, and the number of (collapsed) stuck-at faults.  The
+fault count itself comes from :mod:`repro.faults`; this module provides the
+structural half plus a few derived quantities (levels, average fanin/fanout)
+that the ablation benchmarks use to characterize workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.logic.tables import GateType
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Structural summary of one circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_dffs: int
+    num_gates: int
+    num_levels: int
+    num_lines: int
+    avg_fanin: float
+    max_fanout: int
+
+    def row(self) -> str:
+        """One formatted row for table printing."""
+        return (
+            f"{self.name:<10} {self.num_inputs:>5} {self.num_outputs:>5} "
+            f"{self.num_dffs:>5} {self.num_gates:>7} {self.num_levels:>6}"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute the structural statistics of *circuit*."""
+    combinational = [circuit.gates[index] for index in circuit.order]
+    fanin_total = sum(gate.arity for gate in combinational) + len(circuit.dffs)
+    num_gates = len(combinational)
+    max_fanout = max((len(gate.fanout) for gate in circuit.gates), default=0)
+    # "Lines" in the stuck-at sense: every gate output plus every gate input
+    # pin (fanout branches are modelled as input pins of the fed gates).
+    num_lines = len(circuit.gates) + fanin_total
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=len(circuit.inputs),
+        num_outputs=len(circuit.outputs),
+        num_dffs=len(circuit.dffs),
+        num_gates=num_gates,
+        num_levels=circuit.num_levels,
+        num_lines=num_lines,
+        avg_fanin=(fanin_total / num_gates) if num_gates else 0.0,
+        max_fanout=max_fanout,
+    )

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``stats``           circuit statistics and fault counts (Table 2 shape)
+``simulate``        stuck-at fault simulation with any engine
+``transition``      transition-fault simulation (two-pass concurrent)
+``generate-tests``  coverage-directed test generation
+``tables``          regenerate the paper's evaluation tables
+
+Circuits are named (``s27``, ``s298`` ... — synthetic stand-ins except the
+embedded real ``s27``) or paths to ISCAS-89 ``.bench`` files.  Test sets
+are text files with one ``0/1/X`` vector per line (PI order), produced by
+``generate-tests`` or by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.circuit.library import load
+from repro.circuit.stats import circuit_stats
+from repro.faults.transition import all_transition_faults
+from repro.faults.universe import stuck_at_universe
+from repro.harness.reporting import format_table
+from repro.harness.runner import ENGINE_NAMES, run_stuck_at, run_transition
+from repro.patterns.atpg import generate_tests
+from repro.patterns.random_gen import random_sequence
+from repro.patterns.vectors import format_vectors, parse_vectors
+
+
+def _load_tests(args, circuit):
+    if args.tests:
+        with open(args.tests) as handle:
+            return parse_vectors(handle.read(), circuit)
+    return random_sequence(circuit, args.random_patterns, seed=args.seed)
+
+
+def _add_circuit_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("circuit", help="benchmark name or .bench file path")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="synthetic circuit scale (default 1.0)"
+    )
+
+
+def _add_test_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tests", help="vector file (one 0/1/X vector per line)")
+    parser.add_argument(
+        "--random-patterns",
+        type=int,
+        default=256,
+        help="random vector count when no --tests file is given (default 256)",
+    )
+    parser.add_argument("--seed", type=int, default=1992)
+
+
+def cmd_stats(args) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    stats = circuit_stats(circuit)
+    faults = stuck_at_universe(circuit)
+    transition = all_transition_faults(circuit)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("primary inputs", stats.num_inputs),
+                ("primary outputs", stats.num_outputs),
+                ("flip-flops", stats.num_dffs),
+                ("combinational gates", stats.num_gates),
+                ("levels", stats.num_levels),
+                ("lines", stats.num_lines),
+                ("collapsed stuck-at faults", len(faults)),
+                ("transition faults", len(transition)),
+            ],
+            title=f"{circuit.name}",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    tests = _load_tests(args, circuit)
+    result = run_stuck_at(circuit, tests, args.engine)
+    print(result.summary())
+    if args.verbose:
+        from repro.faults.model import fault_name
+
+        for fault, cycle in sorted(result.detected.items(), key=lambda kv: kv[1]):
+            print(f"  cycle {cycle:5}: {fault_name(circuit, fault)}")
+    return 0
+
+
+def cmd_transition(args) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    tests = _load_tests(args, circuit)
+    result = run_transition(circuit, tests)
+    print(result.summary())
+    return 0
+
+
+def cmd_generate_tests(args) -> int:
+    circuit = load(args.circuit, scale=args.scale)
+    tests, coverage = generate_tests(
+        circuit, effort=args.effort, seed=args.seed, target_coverage=args.target
+    )
+    text = format_vectors(tests)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    print(
+        f"# {len(tests)} vectors, {100 * coverage:.2f}% stuck-at coverage",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.harness import tables
+
+    print(tables.all_tables(scale=args.scale, quick=args.quick))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Concurrent fault simulation for synchronous sequential "
+        "circuits (Lee & Reddy, DAC 1992).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="circuit statistics and fault counts")
+    _add_circuit_arg(stats)
+    stats.set_defaults(handler=cmd_stats)
+
+    simulate = commands.add_parser("simulate", help="stuck-at fault simulation")
+    _add_circuit_arg(simulate)
+    _add_test_args(simulate)
+    simulate.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="csim-MV", help="default csim-MV"
+    )
+    simulate.add_argument(
+        "--verbose", action="store_true", help="list detections with cycles"
+    )
+    simulate.set_defaults(handler=cmd_simulate)
+
+    transition = commands.add_parser(
+        "transition", help="transition-fault simulation (two-pass concurrent)"
+    )
+    _add_circuit_arg(transition)
+    _add_test_args(transition)
+    transition.set_defaults(handler=cmd_transition)
+
+    gen = commands.add_parser(
+        "generate-tests", help="coverage-directed test generation"
+    )
+    _add_circuit_arg(gen)
+    gen.add_argument("--effort", choices=("standard", "high"), default="standard")
+    gen.add_argument("--seed", type=int, default=1992)
+    gen.add_argument("--target", type=float, default=None, help="stop at this coverage")
+    gen.add_argument("-o", "--output", help="write vectors here instead of stdout")
+    gen.set_defaults(handler=cmd_generate_tests)
+
+    tables = commands.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("--scale", type=float, default=0.25)
+    tables.add_argument("--quick", action="store_true")
+    tables.set_defaults(handler=cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The concurrent fault simulator — the paper's primary contribution.
+
+:class:`ConcurrentFaultSimulator` implements zero-delay concurrent stuck-at
+fault simulation for synchronous sequential circuits with the paper's three
+improvements selectable through :class:`SimOptions`:
+
+* event-driven fault dropping,
+* visible/invisible fault-list splitting (the ``-V`` variants),
+* macro extraction with functional-fault translation (the ``-M`` variants).
+
+:class:`TransitionFaultSimulator` extends the engine to the paper's
+transition-fault model (Section 3) with the two-pass per-vector scheme, and
+:class:`ConcurrentEventFaultSimulator` to arbitrary gate delays (the
+generality the paper claims over pattern-parallel methods).
+"""
+
+from repro.concurrent.options import SimOptions, CSIM, CSIM_V, CSIM_M, CSIM_MV
+from repro.concurrent.elements import Behavior, FaultDescriptor
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.transition_engine import TransitionFaultSimulator
+from repro.concurrent.event_engine import ConcurrentEventFaultSimulator
+
+__all__ = [
+    "SimOptions",
+    "CSIM",
+    "CSIM_V",
+    "CSIM_M",
+    "CSIM_MV",
+    "Behavior",
+    "FaultDescriptor",
+    "ConcurrentFaultSimulator",
+    "TransitionFaultSimulator",
+    "ConcurrentEventFaultSimulator",
+]

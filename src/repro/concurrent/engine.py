@@ -1,0 +1,751 @@
+"""Zero-delay concurrent fault simulation for synchronous sequential circuits.
+
+This is the paper's simulator.  One good machine and many faulty machines
+are simulated together; a faulty machine is explicit only where it differs
+from the good machine, as *fault elements* on per-gate lists.  The paper's
+structural choices are all here:
+
+* **Deductive-style lists** (Section 2.1): an element is ``fault id ->
+  faulty output value`` on the gate's list; everything global about a fault
+  lives in its shared :class:`FaultDescriptor`.  A faulty machine's input
+  values are read from the fanin gates' lists ("multi-list traversal"),
+  falling back to the good value where the fault is not explicit — exactly
+  the rule of the paper's Figure 1.
+* **Zero-delay levelized scheduling** (Section 2.1): only gate identifiers
+  are scheduled, into a per-level queue, whenever *any* machine has an
+  event on a fanin; gates evaluate in level order so one sweep settles the
+  network.  The first vector schedules every gate (initialization).
+* **Divergence/convergence** by comparing the evaluated faulty state with
+  the good state: output differs -> visible element; only inputs differ ->
+  invisible element; identical -> the element is removed.
+* **Event-driven fault dropping** (Section 2.2): detected faults' elements
+  are removed while the lists holding them are traversed, never by a
+  circuit-wide sweep.  (The paper's terminal-element trick — a sentinel
+  whose descriptor is never dropped, removing the end-of-list test — is a
+  linked-list micro-optimization; Python dictionaries subsume it.)
+* **Visible/invisible list splitting** (Section 2.2, the ``-V`` variants):
+  with ``split_lists`` on, propagation and detection scan only visible
+  elements; with it off, the single conceptual list is scanned whole,
+  reproducing the extra work the paper ablates.
+* **Macro extraction** (Section 2.2, the ``-M`` variants): the engine runs
+  on the macro-transformed circuit and faults inside macros evaluate
+  through private faulty lookup tables (functional faults).
+
+Flip-flops carry their own fault lists: a latched fault effect is an
+element on the DFF gate, which is how fault effects persist across clock
+cycles.  Flip-flops update two-phase at the cycle boundary from settled D
+values, and their events seed the next cycle's queue.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.macro import extract_macros
+from repro.circuit.netlist import Circuit
+from repro.concurrent.elements import Behavior, FaultDescriptor
+from repro.concurrent.options import SimOptions
+from repro.faults.model import OUTPUT_PIN, Fault, StuckAtFault
+from repro.faults.universe import stuck_at_universe
+from repro.logic.tables import (
+    GateType,
+    MAX_TABLE_ARITY,
+    evaluate,
+    pack_inputs,
+    packed_table,
+    unpack_inputs,
+)
+from repro.logic.values import ONE, X, ZERO
+from repro.result import FaultSimResult, MemoryStats, WorkCounters
+
+
+class ConcurrentFaultSimulator:
+    """Concurrent stuck-at fault simulator (csim / -V / -M / -MV).
+
+    Parameters
+    ----------
+    circuit:
+        The flat circuit under test.  With ``options.use_macros`` the
+        engine internally runs on the macro-transformed circuit; faults
+        and detections are always reported against *circuit*.
+    faults:
+        Stuck-at faults to simulate; defaults to the collapsed universe.
+    options:
+        Variant selection, see :class:`repro.concurrent.options.SimOptions`.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Iterable[StuckAtFault]] = None,
+        options: SimOptions = SimOptions(),
+        macro=None,
+    ) -> None:
+        self.original_circuit = circuit
+        self.options = options
+        universe = self._default_universe(circuit) if faults is None else faults
+        #: Sorted for deterministic fault ids (and so detection order never
+        #: depends on how the caller built the list).
+        self.faults: List[StuckAtFault] = sorted(universe)
+        if macro is not None:
+            # Caller-supplied macro transform (e.g. built along hierarchy
+            # boundaries via extract_macros(..., preassigned=...)).
+            if macro.flat is not circuit:
+                raise ValueError("macro transform was built for a different circuit")
+            self.macro = macro
+            self.circuit = macro.circuit
+        elif options.use_macros:
+            self.macro = extract_macros(circuit, options.macro_max_inputs)
+            self.circuit = self.macro.circuit
+        else:
+            self.macro = None
+            self.circuit = circuit
+        self._build_eval_tables()
+        self._build_descriptors()
+        self.reset()
+
+    def _build_eval_tables(self) -> None:
+        """Per-gate packed-input lookup tables for the hot path.
+
+        ``None`` entries (sources and too-wide gates) take the list-based
+        fallback in :meth:`_evaluate`.
+        """
+        self._eval_tables = []
+        for gate in self.circuit.gates:
+            if gate.gtype in (GateType.INPUT, GateType.DFF):
+                self._eval_tables.append(None)
+            elif gate.gtype is GateType.MACRO:
+                self._eval_tables.append(gate.table)
+            elif gate.arity <= MAX_TABLE_ARITY:
+                self._eval_tables.append(packed_table(gate.gtype, gate.arity))
+            else:
+                self._eval_tables.append(None)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _default_universe(self, circuit: Circuit) -> List[StuckAtFault]:
+        return stuck_at_universe(circuit)
+
+    def _build_descriptors(self) -> None:
+        circuit = self.circuit
+        self.descriptors: List[FaultDescriptor] = []
+        self.local_faults: Dict[int, List[int]] = {
+            gate.index: [] for gate in circuit.gates
+        }
+        for fid, fault in enumerate(self.faults):
+            descriptor = self._make_descriptor(fid, fault)
+            self.descriptors.append(descriptor)
+            if not self._is_inert(descriptor):
+                self.local_faults[descriptor.site_gate].append(fid)
+
+    def _make_descriptor(self, fid: int, fault: StuckAtFault) -> FaultDescriptor:
+        if self.macro is not None:
+            site, behavior, pin, value, table = self.macro.translate_stuck_at(fault)
+            return FaultDescriptor(
+                fid=fid,
+                fault=fault,
+                site_gate=site,
+                behavior=Behavior(behavior),
+                pin=pin,
+                value=value,
+                table=table,
+            )
+        if fault.pin == OUTPUT_PIN:
+            behavior = Behavior.FORCE_OUTPUT
+        else:
+            behavior = Behavior.FORCE_INPUT
+        return FaultDescriptor(
+            fid=fid,
+            fault=fault,
+            site_gate=fault.gate,
+            behavior=behavior,
+            pin=fault.pin,
+            value=fault.value,
+        )
+
+    def _is_inert(self, descriptor: FaultDescriptor) -> bool:
+        """A functional fault whose table equals the good table never
+        diverges; it stays in the universe (denominator) but is skipped."""
+        if descriptor.behavior is not Behavior.TABLE:
+            return False
+        gate = self.circuit.gates[descriptor.site_gate]
+        return descriptor.table == gate.table
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the all-X power-up state with no fault explicit."""
+        circuit = self.circuit
+        count = len(circuit.gates)
+        self.good: List[int] = [X] * count
+        self.vis: List[Dict[int, int]] = [dict() for _ in range(count)]
+        self.invis: List[Dict[int, int]] = [dict() for _ in range(count)]
+        self.cycle = 0
+        self.detected: Dict[Fault, int] = {}
+        self.potentially_detected: Dict[Fault, int] = {}
+        self.counters = WorkCounters()
+        self.memory = MemoryStats(
+            num_descriptors=len(self.descriptors),
+            element_bytes=self.options.element_bytes,
+            descriptor_bytes=self.options.descriptor_bytes,
+        )
+        self._live_elements = 0
+        self._next_cycle_gates: Set[int] = set()
+        self._dirty_ffs: Set[int] = set(circuit.dffs)
+        self._queue: List[List[int]] = [[] for _ in range(circuit.num_levels + 1)]
+        self._in_queue: List[bool] = [False] * count
+        # When not None, _evaluate records every gate it touches here (the
+        # transition engine uses this to seed its second pass).
+        self._record_evaluated: Optional[Set[int]] = None
+        for descriptor in self.descriptors:
+            descriptor.detected = False
+            descriptor.detect_cycle = None
+            descriptor.prev_site_value = X
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full simulation state (for search/compaction loops).
+
+        The returned object is opaque; pass it back to :meth:`restore`.
+        Counters and memory statistics are included so a restored run is
+        bit-identical to never having simulated the rolled-back vectors.
+        """
+        import copy
+
+        return {
+            "good": list(self.good),
+            "vis": [dict(bucket) for bucket in self.vis],
+            "invis": [dict(bucket) for bucket in self.invis],
+            "cycle": self.cycle,
+            "detected": dict(self.detected),
+            "potential": dict(self.potentially_detected),
+            "descriptor_state": [
+                (d.detected, d.detect_cycle, d.prev_site_value)
+                for d in self.descriptors
+            ],
+            "live": self._live_elements,
+            "next_gates": set(self._next_cycle_gates),
+            "dirty_ffs": set(self._dirty_ffs),
+            "counters": copy.copy(self.counters),
+            "memory": copy.copy(self.memory),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll the simulator back to a :meth:`snapshot`."""
+        self.good = list(state["good"])
+        self.vis = [dict(bucket) for bucket in state["vis"]]
+        self.invis = [dict(bucket) for bucket in state["invis"]]
+        self.cycle = state["cycle"]
+        self.detected = dict(state["detected"])
+        self.potentially_detected = dict(state["potential"])
+        for descriptor, (det, det_cycle, prev) in zip(
+            self.descriptors, state["descriptor_state"]
+        ):
+            descriptor.detected = det
+            descriptor.detect_cycle = det_cycle
+            descriptor.prev_site_value = prev
+        self._live_elements = state["live"]
+        self._next_cycle_gates = set(state["next_gates"])
+        self._dirty_ffs = set(state["dirty_ffs"])
+        import copy
+
+        self.counters = copy.copy(state["counters"])
+        self.memory = copy.copy(state["memory"])
+
+    # -- element bookkeeping ----------------------------------------------
+
+    def _store(self, lists: List[Dict[int, int]], gate: int, fid: int, value: int) -> None:
+        bucket = lists[gate]
+        if fid not in bucket:
+            self._live_elements += 1
+        bucket[fid] = value
+
+    def _remove(self, gate: int, fid: int) -> None:
+        if self.vis[gate].pop(fid, None) is not None:
+            self._live_elements -= 1
+        if self.invis[gate].pop(fid, None) is not None:
+            self._live_elements -= 1
+
+    def _schedule(self, gate_index: int) -> None:
+        if not self._in_queue[gate_index]:
+            self._in_queue[gate_index] = True
+            self._queue[self.circuit.gates[gate_index].level].append(gate_index)
+            self.counters.gates_scheduled += 1
+
+    def _emit_event(self, gate_index: int) -> None:
+        """An event on *gate_index*: schedule combinational fanouts now,
+        mark flip-flop fanouts for the boundary update."""
+        self.counters.events += 1
+        gates = self.circuit.gates
+        for sink in gates[gate_index].fanout:
+            if gates[sink].gtype is GateType.DFF:
+                self._dirty_ffs.add(sink)
+            else:
+                self._schedule(sink)
+
+    # ------------------------------------------------------------------
+    # per-cycle simulation
+    # ------------------------------------------------------------------
+
+    def step(self, vector: Sequence[int]) -> List[Fault]:
+        """Simulate one clock cycle; returns faults first detected in it."""
+        circuit = self.circuit
+        if len(vector) != len(circuit.inputs):
+            raise ValueError(
+                f"vector has {len(vector)} values for {len(circuit.inputs)} inputs"
+            )
+        self.cycle += 1
+        self.counters.cycles += 1
+
+        if self.cycle == 1:
+            # Initialization: evaluate the whole network once so every
+            # local fault gets the chance to diverge from the X state, and
+            # make output-stuck flip-flop faults explicit from power-up
+            # (they force Q before the first clock edge ever fires).
+            for gate_index in circuit.order:
+                self._schedule(gate_index)
+            self._dirty_ffs.update(circuit.dffs)
+            for ff_index in circuit.dffs:
+                for fid in self.local_faults[ff_index]:
+                    descriptor = self.descriptors[fid]
+                    if descriptor.behavior is Behavior.FORCE_OUTPUT:
+                        self._store(self.vis, ff_index, fid, descriptor.value)
+        else:
+            for gate_index in self._next_cycle_gates:
+                self._schedule(gate_index)
+        self._next_cycle_gates = set()
+
+        for position, pi_index in enumerate(circuit.inputs):
+            self._apply_source(pi_index, vector[position])
+
+        self._settle()
+        self.memory.note_elements(self._live_elements)
+        newly_detected = self._detect()
+        self._clock()
+        self.memory.note_elements(self._live_elements)
+        return newly_detected
+
+    def run(
+        self,
+        vectors: Iterable[Sequence[int]],
+        stop_at_coverage: Optional[float] = None,
+    ) -> FaultSimResult:
+        """Simulate a whole sequence and package the result.
+
+        ``stop_at_coverage`` (fraction) ends the run early once reached —
+        useful for test-generation loops.
+        """
+        start = time.perf_counter()
+        applied = 0
+        for vector in vectors:
+            self.step(vector)
+            applied += 1
+            if (
+                stop_at_coverage is not None
+                and self.faults
+                and len(self.detected) / len(self.faults) >= stop_at_coverage
+            ):
+                break
+        elapsed = time.perf_counter() - start
+        return FaultSimResult(
+            engine=self.options.variant_name,
+            circuit_name=self.original_circuit.name,
+            num_faults=len(self.faults),
+            num_vectors=applied,
+            detected=dict(self.detected),
+            potentially_detected=dict(self.potentially_detected),
+            counters=self.counters,
+            memory=self.memory,
+            wall_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _apply_source(self, pi_index: int, value: int) -> None:
+        """Drive one primary input and its local (output-stuck) faults."""
+        old_good = self.good[pi_index]
+        self.good[pi_index] = value
+        vis = self.vis[pi_index]
+        event = value != old_good
+        drop = self.options.drop_detected
+        for fid in self.local_faults[pi_index]:
+            descriptor = self.descriptors[fid]
+            if descriptor.detected and drop:
+                self._remove(pi_index, fid)
+                continue
+            forced = descriptor.value
+            self.counters.fault_evaluations += 1
+            before = vis.get(fid, old_good)
+            if forced != value:
+                self._store(self.vis, pi_index, fid, forced)
+            else:
+                self._remove(pi_index, fid)
+            if before != forced:
+                event = True
+        if event:
+            self._emit_event(pi_index)
+
+    def _settle(self) -> None:
+        """Evaluate scheduled gates level by level (the zero-delay 'second
+        phase' of Section 2.1)."""
+        queue = self._queue
+        in_queue = self._in_queue
+        for level in range(1, len(queue)):
+            bucket = queue[level]
+            if not bucket:
+                continue
+            for gate_index in bucket:
+                in_queue[gate_index] = False
+                self._evaluate(gate_index)
+            bucket.clear()
+
+    def _good_output(self, gate, inputs: List[int]) -> int:
+        if gate.gtype is GateType.MACRO:
+            return gate.table[pack_inputs(inputs)]
+        return evaluate(gate.gtype, inputs)
+
+    def _candidates(self, gate_index: int, fanin: Tuple[int, ...]) -> Dict[int, bool]:
+        """Assemble the fault set to evaluate at this gate.
+
+        Faults explicit on a fanin's visible list (plus, without list
+        splitting, its invisible list — the scan the ``-V`` variants
+        avoid), the gate's own lists (for convergence), and the faults
+        whose site is this gate.  Detected faults are dropped from the
+        lists as they are encountered (event-driven dropping).
+        """
+        descriptors = self.descriptors
+        counters = self.counters
+        drop = self.options.drop_detected
+        split = self.options.split_lists
+        candidates: Dict[int, bool] = {}
+        purge: List[Tuple[int, int]] = []
+
+        buckets: List[Tuple[int, Dict[int, int]]] = []
+        for source in fanin:
+            buckets.append((source, self.vis[source]))
+            if not split:
+                buckets.append((source, self.invis[source]))
+        buckets.append((gate_index, self.vis[gate_index]))
+        buckets.append((gate_index, self.invis[gate_index]))
+
+        for source, bucket in buckets:
+            if not bucket:
+                continue
+            counters.element_visits += len(bucket)
+            if drop:
+                for fid in bucket:
+                    if descriptors[fid].detected:
+                        purge.append((source, fid))
+                    else:
+                        candidates[fid] = True
+            else:
+                for fid in bucket:
+                    candidates[fid] = True
+        for fid in self.local_faults[gate_index]:
+            if drop and descriptors[fid].detected:
+                continue
+            candidates[fid] = True
+        for source, fid in purge:
+            self._remove(source, fid)
+        return candidates
+
+    def _faulty_output(
+        self,
+        descriptor: FaultDescriptor,
+        gate,
+        gate_index: int,
+        inputs: List[int],
+    ) -> int:
+        """Evaluate one faulty machine at one gate (inputs already faulty).
+
+        ``inputs`` is mutated in place for input-forcing faults; callers
+        pass a fresh list per fault.
+        """
+        if descriptor.site_gate == gate_index:
+            behavior = descriptor.behavior
+            if behavior is Behavior.FORCE_OUTPUT:
+                return descriptor.value
+            if behavior is Behavior.FORCE_INPUT:
+                inputs[descriptor.pin] = descriptor.value
+                return self._good_output(gate, inputs)
+            if behavior is Behavior.TABLE:
+                return descriptor.table[pack_inputs(inputs)]
+            if behavior is Behavior.TRANSITION:
+                return self._transition_output(descriptor, gate, inputs)
+        return self._good_output(gate, inputs)
+
+    def _transition_output(self, descriptor, gate, inputs):  # pragma: no cover
+        raise NotImplementedError(
+            "transition faults require TransitionFaultSimulator"
+        )
+
+    def _ff_transition_latch(self, descriptor, q_fault):  # pragma: no cover
+        raise NotImplementedError(
+            "transition faults require TransitionFaultSimulator"
+        )
+
+    def _evaluate(self, gate_index: int) -> None:
+        """Re-evaluate the good machine and every candidate faulty machine
+        at one gate, diverging/converging elements and emitting events.
+
+        The hot path works on packed state words — the paper's "the state
+        of a gate is packed into a word so that the output can be
+        efficiently evaluated by table look up": inputs pack 2 bits per
+        pin while being gathered, evaluation is one table index, and the
+        divergence test is a single word comparison against the good
+        machine's packed state.  Gates wider than the table bound fall
+        back to list-based evaluation.
+        """
+        circuit = self.circuit
+        gate = circuit.gates[gate_index]
+        if self._record_evaluated is not None:
+            self._record_evaluated.add(gate_index)
+        fanin = gate.fanin
+        good = self.good
+        old_good = good[gate_index]
+        table = self._eval_tables[gate_index]
+        self.counters.good_evaluations += 1
+
+        vis = self.vis
+        invis_here = self.invis[gate_index]
+        vis_here = vis[gate_index]
+        counters = self.counters
+        descriptors = self.descriptors
+        fault_event = False
+
+        if table is not None:
+            good_packed = 0
+            shift = 0
+            for source in fanin:
+                good_packed |= good[source] << shift
+                shift += 2
+            new_good = table[good_packed]
+            good[gate_index] = new_good
+
+            for fid in self._candidates(gate_index, fanin):
+                counters.fault_evaluations += 1
+                packed = 0
+                shift = 0
+                for source in fanin:
+                    value = vis[source].get(fid)
+                    if value is None:
+                        value = good[source]
+                    packed |= value << shift
+                    shift += 2
+                descriptor = descriptors[fid]
+                if descriptor.site_gate != gate_index:
+                    out = table[packed]
+                else:
+                    behavior = descriptor.behavior
+                    if behavior is Behavior.FORCE_OUTPUT:
+                        out = descriptor.value
+                    elif behavior is Behavior.FORCE_INPUT:
+                        position = 2 * descriptor.pin
+                        packed = (packed & ~(0b11 << position)) | (
+                            descriptor.value << position
+                        )
+                        out = table[packed]
+                    elif behavior is Behavior.TABLE:
+                        out = descriptor.table[packed]
+                    else:  # TRANSITION: rare site path, via the list hook
+                        inputs = list(unpack_inputs(packed, len(fanin)))
+                        out = self._transition_output(descriptor, gate, inputs)
+                        packed = pack_inputs(inputs)
+                before = vis_here.get(fid, old_good)
+                if out != new_good:
+                    if invis_here.pop(fid, None) is not None:
+                        self._live_elements -= 1
+                    self._store(vis, gate_index, fid, out)
+                elif packed != good_packed:
+                    # Same output, different state: invisible element.
+                    if vis_here.pop(fid, None) is not None:
+                        self._live_elements -= 1
+                    self._store(self.invis, gate_index, fid, out)
+                else:
+                    self._remove(gate_index, fid)
+                if before != out:
+                    fault_event = True
+        else:
+            good_inputs = [good[source] for source in fanin]
+            new_good = self._good_output(gate, good_inputs)
+            good[gate_index] = new_good
+            for fid in self._candidates(gate_index, fanin):
+                descriptor = descriptors[fid]
+                inputs = [vis[source].get(fid, good[source]) for source in fanin]
+                counters.fault_evaluations += 1
+                out = self._faulty_output(descriptor, gate, gate_index, inputs)
+                before = vis_here.get(fid, old_good)
+                if out != new_good:
+                    if invis_here.pop(fid, None) is not None:
+                        self._live_elements -= 1
+                    self._store(vis, gate_index, fid, out)
+                elif inputs != good_inputs:
+                    if vis_here.pop(fid, None) is not None:
+                        self._live_elements -= 1
+                    self._store(self.invis, gate_index, fid, out)
+                else:
+                    self._remove(gate_index, fid)
+                if before != out:
+                    fault_event = True
+
+        if new_good != old_good or fault_event:
+            self._emit_event(gate_index)
+
+    def _detect(self) -> List[Fault]:
+        """Scan primary-output fault lists for detections.
+
+        A fault is detected when both machines carry known, differing
+        values at an observed line.  Without list splitting the invisible
+        list is scanned too (and yields nothing) — the cost the paper's
+        ``-V`` variants remove.
+        """
+        newly: List[Fault] = []
+        drop = self.options.drop_detected
+        counters = self.counters
+        hard_now: List[int] = []
+        potential_now: List[int] = []
+        for po_index in self.circuit.outputs:
+            good_value = self.good[po_index]
+            vis = self.vis[po_index]
+            purge: List[int] = []
+            for fid, value in vis.items():
+                counters.element_visits += 1
+                descriptor = self.descriptors[fid]
+                if descriptor.detected:
+                    if drop:
+                        purge.append(fid)
+                    continue
+                if good_value == X:
+                    continue
+                if value != X:
+                    hard_now.append(fid)
+                else:
+                    potential_now.append(fid)
+            for fid in purge:
+                self._remove(po_index, fid)
+            if not self.options.split_lists:
+                counters.element_visits += len(self.invis[po_index])
+        # Hard and potential detections are judged on the full output
+        # vector of the cycle; marking happens after the scan so that a
+        # hard detection at one output doesn't hide the same cycle's
+        # observations at another (the serial oracle sees all outputs at
+        # once, and the engines must agree to the cycle).
+        for fid in potential_now:
+            self.potentially_detected.setdefault(
+                self.descriptors[fid].fault, self.cycle
+            )
+        for fid in hard_now:
+            descriptor = self.descriptors[fid]
+            if descriptor.detected:
+                continue  # listed at several outputs this cycle
+            descriptor.mark_detected(self.cycle)
+            self.detected[descriptor.fault] = self.cycle
+            newly.append(descriptor.fault)
+        return newly
+
+    def _clock(self) -> None:
+        """Two-phase flip-flop update from settled D values.
+
+        Computes every dirty flip-flop's next good and faulty values from
+        the pre-commit state, then commits all at once; events seed the
+        next cycle's queue.
+        """
+        pending = self._compute_ff_updates()
+        self._dirty_ffs = set()
+        self._commit_ff_updates(pending)
+
+    def _compute_ff_updates(
+        self,
+    ) -> List[Tuple[int, int, List[Tuple[int, int, bool]], bool]]:
+        """Latch phase: next good/faulty values per dirty flip-flop, from
+        the current settled (pre-commit) network values."""
+        circuit = self.circuit
+        descriptors = self.descriptors
+        drop = self.options.drop_detected
+        split = self.options.split_lists
+        good = self.good
+        pending: List[Tuple[int, int, List[Tuple[int, int, bool]], bool]] = []
+
+        for ff_index in self._dirty_ffs:
+            gate = circuit.gates[ff_index]
+            d_source = gate.fanin[0]
+            old_q = good[ff_index]
+            new_q = good[d_source]
+            vis_here = self.vis[ff_index]
+            candidates: Dict[int, bool] = {}
+            purge: List[Tuple[int, int]] = []
+
+            def scan(source: int, bucket: Dict[int, int]) -> None:
+                for fid in bucket:
+                    self.counters.element_visits += 1
+                    if drop and descriptors[fid].detected:
+                        purge.append((source, fid))
+                        continue
+                    candidates[fid] = True
+
+            scan(d_source, self.vis[d_source])
+            if not split:
+                scan(d_source, self.invis[d_source])
+            scan(ff_index, vis_here)
+            for fid in self.local_faults[ff_index]:
+                if drop and descriptors[fid].detected:
+                    continue
+                candidates[fid] = True
+            for source, fid in purge:
+                self._remove(source, fid)
+
+            updates: List[Tuple[int, int, bool]] = []
+            event = new_q != old_q
+            for fid in candidates:
+                descriptor = descriptors[fid]
+                q_fault = self.vis[d_source].get(fid, new_q)
+                self.counters.fault_evaluations += 1
+                if descriptor.site_gate == ff_index:
+                    if descriptor.behavior is Behavior.FORCE_OUTPUT:
+                        q_fault = descriptor.value
+                    elif descriptor.behavior is Behavior.FORCE_INPUT:
+                        # A stuck D pin latches the forced value.
+                        q_fault = descriptor.value
+                    elif descriptor.behavior is Behavior.TRANSITION:
+                        # A slow D transition latches the stale value.
+                        q_fault = self._ff_transition_latch(descriptor, q_fault)
+                before = vis_here.get(fid, old_q)
+                updates.append((fid, q_fault, q_fault != new_q))
+                if before != q_fault:
+                    event = True
+            pending.append((ff_index, new_q, updates, event))
+        return pending
+
+    def _commit_ff_updates(
+        self, pending: List[Tuple[int, int, List[Tuple[int, int, bool]], bool]]
+    ) -> None:
+        """Commit phase: assign the latched values and seed the next cycle.
+
+        Flip-flop events schedule combinational fanouts for the next
+        cycle's queue and mark downstream flip-flops dirty for the next
+        boundary.
+        """
+        circuit = self.circuit
+        good = self.good
+        for ff_index, new_q, updates, event in pending:
+            good[ff_index] = new_q
+            for fid, q_fault, differs in updates:
+                if differs:
+                    self._store(self.vis, ff_index, fid, q_fault)
+                else:
+                    self._remove(ff_index, fid)
+            if event:
+                self.counters.events += 1
+                for sink in circuit.gates[ff_index].fanout:
+                    if circuit.gates[sink].gtype is GateType.DFF:
+                        self._dirty_ffs.add(sink)
+                    else:
+                        self._next_cycle_gates.add(sink)

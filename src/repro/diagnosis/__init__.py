@@ -1,0 +1,24 @@
+"""Fault dictionaries and fault diagnosis.
+
+The classic downstream application of fast fault simulation: simulate the
+fault universe once against the production test set, record each fault's
+response signature, and later locate defects on failing silicon by matching
+observed tester responses against the dictionary.
+"""
+
+from repro.diagnosis.dictionary import (
+    FaultDictionary,
+    FullResponseDictionary,
+    PassFailDictionary,
+    build_dictionary,
+)
+from repro.diagnosis.locate import DiagnosisResult, diagnose
+
+__all__ = [
+    "FaultDictionary",
+    "FullResponseDictionary",
+    "PassFailDictionary",
+    "build_dictionary",
+    "DiagnosisResult",
+    "diagnose",
+]

@@ -1,0 +1,131 @@
+"""Fault-dictionary construction by concurrent fault simulation.
+
+A fault dictionary is the precomputed map from each modelled fault to the
+response a tester would observe from a device carrying it.  Building one
+needs *full* fault simulation — every fault simulated against every vector
+with no fault dropping — which is exactly the workload the paper's engine
+makes affordable; the builder here is the concurrent simulator with a
+recording detector.
+
+Two classic formats:
+
+* **full-response**: the set of (cycle, output) positions where the faulty
+  response differs from the good one — maximal resolution, maximal size;
+* **pass/fail**: only the set of failing cycles — far smaller, coarser
+  resolution (the usual production compromise).
+
+Signatures contain *definite* mismatches only (good and faulty both known
+and different); unknown faulty values never enter a dictionary because a
+tester comparison against an X is not reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import SimOptions
+from repro.faults.model import Fault, StuckAtFault
+from repro.logic.values import X
+from repro.patterns.vectors import TestSequence
+
+#: One observed/simulated failure: (cycle, primary-output position).
+Failure = Tuple[int, int]
+
+
+class _RecordingSimulator(ConcurrentFaultSimulator):
+    """Concurrent simulator that records every output mismatch of every
+    fault (fault dropping is forced off — dictionaries need it all)."""
+
+    def __init__(self, circuit, faults, options: SimOptions) -> None:
+        super().__init__(circuit, faults, options.with_(drop_detected=False))
+        self.signatures: Dict[int, List[Failure]] = {}
+
+    def _detect(self):
+        newly = super()._detect()
+        for po_position, po_index in enumerate(self.circuit.outputs):
+            good_value = self.good[po_index]
+            if good_value == X:
+                continue
+            for fid, value in self.vis[po_index].items():
+                if value == X or value == good_value:
+                    continue
+                self.signatures.setdefault(fid, []).append(
+                    (self.cycle, po_position)
+                )
+        return newly
+
+
+@dataclass(frozen=True)
+class FaultDictionary:
+    """Base dictionary: fault -> response signature."""
+
+    circuit_name: str
+    num_vectors: int
+    signatures: Dict[Fault, FrozenSet]
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def signature(self, fault: Fault) -> FrozenSet:
+        """The signature of *fault* (empty when it never fails)."""
+        return self.signatures.get(fault, frozenset())
+
+    def detected_faults(self) -> List[Fault]:
+        return sorted(f for f, sig in self.signatures.items() if sig)
+
+    def indistinguishable_groups(self) -> List[List[Fault]]:
+        """Faults with identical (non-empty) signatures — the resolution
+        limit of this dictionary on this test set."""
+        groups: Dict[FrozenSet, List[Fault]] = {}
+        for fault, signature in self.signatures.items():
+            if signature:
+                groups.setdefault(signature, []).append(fault)
+        return sorted(
+            (sorted(members) for members in groups.values() if len(members) > 1),
+            key=lambda members: members[0],
+        )
+
+
+@dataclass(frozen=True)
+class FullResponseDictionary(FaultDictionary):
+    """Signatures are frozensets of (cycle, output-position) failures."""
+
+
+@dataclass(frozen=True)
+class PassFailDictionary(FaultDictionary):
+    """Signatures are frozensets of failing cycle numbers."""
+
+
+def build_dictionary(
+    circuit: Circuit,
+    tests: TestSequence,
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    kind: str = "full",
+    options: SimOptions = SimOptions(split_lists=True),
+) -> FaultDictionary:
+    """Simulate the universe without dropping and assemble a dictionary.
+
+    ``kind``: ``"full"`` for (cycle, output) resolution, ``"passfail"``
+    for failing-cycle resolution.
+    """
+    if kind not in ("full", "passfail"):
+        raise ValueError(f"unknown dictionary kind {kind!r}")
+    simulator = _RecordingSimulator(circuit, faults, options)
+    for vector in tests:
+        simulator.step(vector)
+    signatures: Dict[Fault, FrozenSet] = {}
+    for fid, descriptor in enumerate(simulator.descriptors):
+        failures = simulator.signatures.get(fid, [])
+        if kind == "full":
+            signatures[descriptor.fault] = frozenset(failures)
+        else:
+            signatures[descriptor.fault] = frozenset(cycle for cycle, _ in failures)
+    cls = FullResponseDictionary if kind == "full" else PassFailDictionary
+    return cls(
+        circuit_name=circuit.name,
+        num_vectors=len(tests),
+        signatures=signatures,
+    )

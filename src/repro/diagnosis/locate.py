@@ -1,0 +1,108 @@
+"""Dictionary-based fault location.
+
+Given the failures a tester observed from a defective device, rank the
+dictionary's faults by how well their simulated signatures explain the
+observation.  Exact matches are reported as such (up to the dictionary's
+resolution — equivalence groups share signatures); otherwise candidates
+are ranked by signature similarity, the standard fallback when the defect
+is not a perfect single-stuck-line (bridging defects, multiple faults,
+flaky failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from repro.diagnosis.dictionary import FaultDictionary
+from repro.faults.model import Fault
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked explanation for the observed failures."""
+
+    fault: Fault
+    score: float
+    exact: bool
+    matched: int
+    missed: int
+    extra: int
+
+
+@dataclass(frozen=True)
+class DiagnosisResult:
+    """Outcome of matching an observation against a dictionary."""
+
+    observed: FrozenSet
+    candidates: Tuple[Candidate, ...]
+
+    @property
+    def exact_candidates(self) -> List[Fault]:
+        return [c.fault for c in self.candidates if c.exact]
+
+    @property
+    def best(self) -> Candidate:
+        if not self.candidates:
+            raise ValueError("no candidate faults (empty dictionary?)")
+        return self.candidates[0]
+
+    def summary(self) -> str:
+        if not self.candidates:
+            return "no candidates"
+        exact = self.exact_candidates
+        if exact:
+            return f"exact match: {len(exact)} equivalent candidate(s)"
+        best = self.best
+        return f"closest: {best.fault} (score {best.score:.3f})"
+
+
+def _similarity(observed: FrozenSet, signature: FrozenSet) -> Tuple[float, int, int, int]:
+    """Jaccard similarity plus the matched/missed/extra breakdown.
+
+    ``missed`` are observed failures the fault does not predict (strong
+    evidence against it); ``extra`` are predicted failures that did not
+    occur (weaker evidence — a marginal defect may fail intermittently).
+    """
+    matched = len(observed & signature)
+    missed = len(observed - signature)
+    extra = len(signature - observed)
+    union = matched + missed + extra
+    score = matched / union if union else 0.0
+    return score, matched, missed, extra
+
+
+def diagnose(
+    dictionary: FaultDictionary,
+    observed_failures: Iterable,
+    top: int = 10,
+) -> DiagnosisResult:
+    """Rank the dictionary's faults against *observed_failures*.
+
+    *observed_failures* uses the dictionary's own signature domain:
+    (cycle, output-position) tuples for a full-response dictionary,
+    cycle numbers for a pass/fail one.
+    """
+    observed = frozenset(observed_failures)
+    candidates: List[Candidate] = []
+    for fault, signature in dictionary.signatures.items():
+        if not signature:
+            continue  # undetected faults explain nothing
+        score, matched, missed, extra = _similarity(observed, signature)
+        if matched == 0:
+            continue
+        candidates.append(
+            Candidate(
+                fault=fault,
+                score=score,
+                exact=(signature == observed),
+                matched=matched,
+                missed=missed,
+                extra=extra,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, c.fault))
+    return DiagnosisResult(
+        observed=observed,
+        candidates=tuple(candidates[:top]),
+    )

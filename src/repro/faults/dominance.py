@@ -1,0 +1,68 @@
+"""Dominance collapsing of stuck-at faults.
+
+Fault ``f`` dominates fault ``g`` when every test detecting ``g`` also
+detects ``f``; the dominator can then be dropped from the target list
+(detecting the dominated fault certifies both).  The gate-local rules:
+
+* AND: output ``s-a-1`` dominates each input ``s-a-1`` (a test for input-j
+  ``s-a-1`` sets j=0 with the other inputs at 1 and sensitizes the output,
+  which then flips for the output fault too);
+* NAND: output ``s-a-0`` dominates each input ``s-a-1``;
+* OR: output ``s-a-0`` dominates each input ``s-a-0``;
+* NOR: output ``s-a-1`` dominates each input ``s-a-0``.
+
+The implication is *combinationally* exact (single observation point per
+vector, acyclic propagation).  For sequential circuits it remains the
+standard industrial heuristic but is no longer a theorem — a dominator's
+effect can be latched and observed on a later cycle along a path the
+dominated fault never takes — so :func:`dominance_collapse` is explicit
+opt-in on top of equivalence collapsing, and its docstring contract is
+"detecting every kept fault implies detecting every dropped one" only for
+combinational circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.logic.tables import GateType
+
+#: (input stuck value, dominated-by output stuck value) per gate type.
+_DOMINANCE_RULES = {
+    GateType.AND: (1, 1),
+    GateType.NAND: (1, 0),
+    GateType.OR: (0, 0),
+    GateType.NOR: (0, 1),
+}
+
+
+def dominance_collapse(
+    circuit: Circuit, faults: List[StuckAtFault]
+) -> List[StuckAtFault]:
+    """Drop dominators from *faults*; returns the reduced target list.
+
+    A dominator is only dropped when at least one fault it dominates is in
+    the list (otherwise nothing certifies it).  Apply after equivalence
+    collapsing: ``dominance_collapse(c, collapse_stuck_at(c, faults))``.
+    """
+    in_universe = set(faults)
+    dropped: Set[StuckAtFault] = set()
+    for gate in circuit.gates:
+        rule = _DOMINANCE_RULES.get(gate.gtype)
+        if rule is None or gate.arity < 2:
+            # Single-input gates: input and output faults are equivalent,
+            # already handled by equivalence collapsing.
+            continue
+        input_value, output_value = rule
+        dominator = StuckAtFault.make(gate.index, OUTPUT_PIN, output_value)
+        if dominator not in in_universe:
+            continue
+        dominated_present = any(
+            StuckAtFault.make(gate.index, pin, input_value) in in_universe
+            for pin in range(gate.arity)
+        )
+        if dominated_present:
+            dropped.add(dominator)
+    return sorted(fault for fault in faults if fault not in dropped)

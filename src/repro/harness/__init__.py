@@ -1,0 +1,14 @@
+"""Experiment harness: uniform engine runners, paper-style table
+formatting, and one driver per table of the paper's evaluation section."""
+
+from repro.harness.runner import run_stuck_at, run_transition, compare_engines
+from repro.harness.reporting import format_table
+from repro.harness import tables
+
+__all__ = [
+    "run_stuck_at",
+    "run_transition",
+    "compare_engines",
+    "format_table",
+    "tables",
+]

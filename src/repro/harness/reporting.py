@@ -1,0 +1,48 @@
+"""Monospace table formatting in the shape of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned, text left-aligned; floats get sensible
+    precision.  Returns the table as a string (callers print or log it).
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell >= 100:
+                return f"{cell:.0f}"
+            if cell >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rows = [list(row) for row in rows]
+    rendered: List[List[str]] = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def align(cell: str, column: int, raw: object) -> str:
+        if isinstance(raw, (int, float)):
+            return cell.rjust(widths[column])
+        return cell.ljust(widths[column])
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for raw_row, row in zip(rows, rendered):
+        lines.append(
+            "  ".join(align(cell, column, raw) for column, (cell, raw) in enumerate(zip(row, raw_row)))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Uniform entry points for running any engine on any workload.
+
+Everything the tables, benchmarks and examples do reduces to: pick a
+circuit, pick a test sequence, pick an engine, get a
+:class:`repro.result.FaultSimResult` back.  This module is that reduction,
+plus a cached workload factory so repeated benchmark invocations reuse the
+(deterministic) generated circuits and test sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines.proofs import ProofsSimulator
+from repro.baselines.serial import simulate_serial, simulate_serial_transition
+from repro.circuit.library import load as load_circuit
+from repro.circuit.netlist import Circuit
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import SimOptions
+from repro.concurrent.transition_engine import TransitionFaultSimulator
+from repro.faults.model import StuckAtFault
+from repro.faults.transition import all_transition_faults
+from repro.faults.universe import stuck_at_universe
+from repro.patterns.atpg import generate_tests
+from repro.patterns.random_gen import random_sequence
+from repro.patterns.vectors import TestSequence
+from repro.result import FaultSimResult
+
+#: Engine registry: name -> how to run stuck-at simulation with it.
+ENGINE_NAMES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS", "serial")
+
+_OPTIONS_BY_NAME = {
+    "csim": SimOptions(),
+    "csim-V": SimOptions(split_lists=True),
+    "csim-M": SimOptions(use_macros=True),
+    "csim-MV": SimOptions(split_lists=True, use_macros=True),
+}
+
+
+def run_stuck_at(
+    circuit: Circuit,
+    tests: TestSequence,
+    engine: str = "csim-MV",
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    options: Optional[SimOptions] = None,
+) -> FaultSimResult:
+    """Run one stuck-at engine over *tests*.
+
+    ``engine`` is one of :data:`ENGINE_NAMES`; an explicit ``options``
+    overrides the name lookup for concurrent variants (ablations use this).
+    """
+    if options is not None:
+        return ConcurrentFaultSimulator(circuit, faults, options).run(tests)
+    if engine in _OPTIONS_BY_NAME:
+        return ConcurrentFaultSimulator(
+            circuit, faults, _OPTIONS_BY_NAME[engine]
+        ).run(tests)
+    if engine == "PROOFS":
+        return ProofsSimulator(circuit, faults).run(tests)
+    if engine == "serial":
+        return simulate_serial(circuit, tests.vectors, faults)
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
+
+
+def run_transition(
+    circuit: Circuit,
+    tests: TestSequence,
+    split_lists: bool = True,
+    faults=None,
+    serial: bool = False,
+) -> FaultSimResult:
+    """Run transition-fault simulation (concurrent by default)."""
+    if serial:
+        return simulate_serial_transition(circuit, tests.vectors, faults)
+    options = SimOptions(split_lists=split_lists)
+    return TransitionFaultSimulator(circuit, faults, options).run(tests)
+
+
+def compare_engines(
+    circuit: Circuit,
+    tests: TestSequence,
+    engines: Iterable[str] = ("csim-V", "csim-M", "csim-MV", "PROOFS"),
+    faults: Optional[Iterable[StuckAtFault]] = None,
+) -> List[FaultSimResult]:
+    """Run several engines on the identical workload (the Tables 3/4 shape).
+
+    Raises if the engines disagree on the detected fault set — a paper
+    table with silently inconsistent engines would be meaningless.
+    """
+    fault_list = sorted(faults) if faults is not None else stuck_at_universe(circuit)
+    results = [
+        run_stuck_at(circuit, tests, engine, fault_list) for engine in engines
+    ]
+    reference = results[0].detected
+    for result in results[1:]:
+        if result.detected != reference:
+            raise AssertionError(
+                f"engine disagreement on {circuit.name}: "
+                f"{results[0].engine} vs {result.engine}"
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# cached deterministic workloads (circuit + tests), shared by benchmarks
+# ----------------------------------------------------------------------
+
+_circuit_cache: Dict[Tuple[str, float], Circuit] = {}
+_tests_cache: Dict[Tuple[str, float, str, int], Tuple[TestSequence, float]] = {}
+
+
+def workload_circuit(name: str, scale: float = 1.0) -> Circuit:
+    """Benchmark circuit by name, memoized per (name, scale)."""
+    key = (name, scale)
+    if key not in _circuit_cache:
+        _circuit_cache[key] = load_circuit(name, scale=scale)
+    return _circuit_cache[key]
+
+
+def workload_tests(
+    name: str,
+    scale: float = 1.0,
+    kind: str = "deterministic",
+    length: int = 256,
+    seed: int = 1992,
+) -> TestSequence:
+    """Deterministic test sequence for a benchmark circuit, memoized.
+
+    ``kind``: ``deterministic`` (Table 3 profile), ``deterministic-high``
+    (Table 4 profile) or ``random`` (Table 5; *length* vectors).
+    """
+    circuit = workload_circuit(name, scale)
+    if kind == "random":
+        return random_sequence(circuit, length, seed=seed)
+    key = (name, scale, kind, seed)
+    if key not in _tests_cache:
+        effort = "high" if kind == "deterministic-high" else "standard"
+        _tests_cache[key] = generate_tests(circuit, effort=effort, seed=seed)
+    return _tests_cache[key][0]
+
+
+def workload_transition_faults(name: str, scale: float = 1.0):
+    """Transition fault universe for a benchmark circuit."""
+    return all_transition_faults(workload_circuit(name, scale))

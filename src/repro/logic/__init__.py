@@ -1,0 +1,48 @@
+"""Three-valued logic values and table-driven gate evaluation.
+
+This package is the lowest substrate layer: the 0/1/X value domain used by
+every simulator in the repository, and the packed-state lookup tables that
+make concurrent fault-element evaluation a single table access, as Section 2
+of Lee & Reddy (DAC 1992) requires ("the state of a gate is packed into a
+word so that the output can be efficiently evaluated by table look up").
+"""
+
+from repro.logic.values import (
+    ZERO,
+    ONE,
+    X,
+    VALUES,
+    VALUE_NAMES,
+    is_binary,
+    invert,
+    value_from_char,
+    value_to_char,
+)
+from repro.logic.tables import (
+    GateType,
+    evaluate,
+    evaluate_packed,
+    packed_table,
+    pack_inputs,
+    unpack_inputs,
+    MAX_TABLE_ARITY,
+)
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "VALUES",
+    "VALUE_NAMES",
+    "is_binary",
+    "invert",
+    "value_from_char",
+    "value_to_char",
+    "GateType",
+    "evaluate",
+    "evaluate_packed",
+    "packed_table",
+    "pack_inputs",
+    "unpack_inputs",
+    "MAX_TABLE_ARITY",
+]

@@ -1,0 +1,75 @@
+"""The three-valued (0, 1, X) logic domain.
+
+Zero-delay fault simulation of synchronous sequential circuits needs an
+unknown value: flip-flops power up in an unknown state, and a fault is only
+*detected* when the good machine and the faulty machine both carry known,
+differing values at a primary output.  Every simulator in this repository
+therefore computes over the domain {0, 1, X}.
+
+Values are small integers chosen so that they double as 2-bit field codes
+when gate states are packed into words (see :mod:`repro.logic.tables`):
+
+========  =====  ========
+constant  value  bit code
+========  =====  ========
+``ZERO``  0      ``0b00``
+``ONE``   1      ``0b01``
+``X``     2      ``0b10``
+========  =====  ========
+
+The code ``0b11`` is unused and never appears in a packed state.
+"""
+
+from __future__ import annotations
+
+ZERO = 0
+ONE = 1
+X = 2
+
+#: All legal logic values, in code order.
+VALUES = (ZERO, ONE, X)
+
+#: Printable name for each value, indexed by the value itself.
+VALUE_NAMES = ("0", "1", "X")
+
+_CHAR_TO_VALUE = {
+    "0": ZERO,
+    "1": ONE,
+    "x": X,
+    "X": X,
+    "u": X,
+    "U": X,
+    "-": X,
+}
+
+# Inversion table indexed by value: NOT 0 = 1, NOT 1 = 0, NOT X = X.
+_INVERT = (ONE, ZERO, X)
+
+
+def is_binary(value: int) -> bool:
+    """Return True when *value* is a known logic value (0 or 1)."""
+    return value == ZERO or value == ONE
+
+
+def invert(value: int) -> int:
+    """Three-valued logical NOT."""
+    return _INVERT[value]
+
+
+def value_from_char(char: str) -> int:
+    """Parse a single vector character (``0``, ``1``, ``x``/``X``/``u``/``-``).
+
+    Raises :class:`ValueError` on anything else, because a silently
+    misparsed test vector corrupts every downstream coverage number.
+    """
+    try:
+        return _CHAR_TO_VALUE[char]
+    except KeyError:
+        raise ValueError(f"not a logic value character: {char!r}") from None
+
+
+def value_to_char(value: int) -> str:
+    """Format a logic value as the single character used in vector files."""
+    if value not in VALUES:
+        raise ValueError(f"not a logic value: {value!r}")
+    return VALUE_NAMES[value]

@@ -1,0 +1,44 @@
+"""Random test-pattern generation.
+
+Random patterns are both a workload in their own right (the paper's
+Table 5 simulates 10k+ random patterns on the largest circuit) and the raw
+material the greedy compactor distills deterministic-profile test sets
+from.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.circuit.netlist import Circuit
+from repro.logic.values import ONE, X, ZERO
+from repro.patterns.vectors import TestSequence
+
+
+def random_vector(
+    rng: random.Random, num_inputs: int, x_probability: float = 0.0
+) -> tuple:
+    """One random vector; ``x_probability`` injects unknown inputs."""
+    values = []
+    for _ in range(num_inputs):
+        if x_probability and rng.random() < x_probability:
+            values.append(X)
+        else:
+            values.append(ONE if rng.random() < 0.5 else ZERO)
+    return tuple(values)
+
+
+def random_sequence(
+    circuit: Circuit,
+    length: int,
+    seed: int = 0,
+    x_probability: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> TestSequence:
+    """A deterministic pseudo-random test sequence for *circuit*."""
+    rng = rng if rng is not None else random.Random(seed)
+    sequence = TestSequence(len(circuit.inputs))
+    for _ in range(length):
+        sequence.append(random_vector(rng, len(circuit.inputs), x_probability))
+    return sequence

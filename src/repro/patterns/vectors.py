@@ -1,0 +1,80 @@
+"""Test-vector containers and text I/O.
+
+A *vector* is one primary-input assignment (a tuple of three-valued values,
+one per PI, in circuit PI order); a *test sequence* is an ordered list of
+vectors applied on consecutive clock cycles starting from the all-X power-up
+state.  Sequential test sets are sequences — order matters, unlike in
+combinational testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.logic.values import value_from_char, value_to_char
+
+Vector = Tuple[int, ...]
+
+
+@dataclass
+class TestSequence:
+    """An ordered test set for a specific circuit's primary inputs."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    num_inputs: int
+    vectors: List[Vector] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for position, vector in enumerate(self.vectors):
+            if len(vector) != self.num_inputs:
+                raise ValueError(
+                    f"vector {position} has {len(vector)} values, expected {self.num_inputs}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def __iter__(self) -> Iterator[Vector]:
+        return iter(self.vectors)
+
+    def __getitem__(self, index):
+        return self.vectors[index]
+
+    def append(self, vector: Sequence[int]) -> None:
+        vector = tuple(vector)
+        if len(vector) != self.num_inputs:
+            raise ValueError(f"vector has {len(vector)} values, expected {self.num_inputs}")
+        self.vectors.append(vector)
+
+    def extend(self, vectors: Iterable[Sequence[int]]) -> None:
+        for vector in vectors:
+            self.append(vector)
+
+    def prefix(self, length: int) -> "TestSequence":
+        """The first *length* vectors as a new sequence."""
+        return TestSequence(self.num_inputs, list(self.vectors[:length]))
+
+
+def parse_vectors(text: str, circuit: Circuit) -> TestSequence:
+    """Parse one vector per line (``0``/``1``/``X`` characters, PI order)."""
+    sequence = TestSequence(len(circuit.inputs))
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        values = tuple(value_from_char(char) for char in line if not char.isspace())
+        if len(values) != len(circuit.inputs):
+            raise ValueError(
+                f"line {line_number}: {len(values)} values for {len(circuit.inputs)} inputs"
+            )
+        sequence.append(values)
+    return sequence
+
+
+def format_vectors(sequence: TestSequence) -> str:
+    """Inverse of :func:`parse_vectors`."""
+    return "\n".join("".join(value_to_char(v) for v in vector) for vector in sequence) + "\n"

@@ -1,0 +1,126 @@
+"""Common result and work-accounting types shared by every fault simulator.
+
+All engines (concurrent variants, PROOFS baseline, serial oracle) return a
+:class:`FaultSimResult`, so the harness, the cross-validation tests and the
+benchmark tables treat them interchangeably.  Besides detections, a result
+carries deterministic *work counters* — gate evaluations, fault-element
+visits, events — which let the benchmarks compare algorithms independently
+of interpreter noise, and a memory model in the units the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.faults.model import Fault
+
+
+@dataclass
+class WorkCounters:
+    """Deterministic operation counts accumulated during one run."""
+
+    cycles: int = 0
+    good_evaluations: int = 0
+    fault_evaluations: int = 0
+    element_visits: int = 0
+    events: int = 0
+    gates_scheduled: int = 0
+
+    def total_work(self) -> int:
+        """A single scalar summarizing algorithmic effort."""
+        return (
+            self.good_evaluations
+            + self.fault_evaluations
+            + self.element_visits
+            + self.events
+        )
+
+
+@dataclass
+class MemoryStats:
+    """Fault-element memory accounting in the paper's units.
+
+    ``element_bytes``/``descriptor_bytes`` model the C implementation's
+    footprint (a fault element is an id, a packed state word and a pointer;
+    a descriptor holds the global per-fault record), so the megabyte figures
+    are comparable in *shape* to the paper's tables even though the Python
+    objects themselves are larger.
+    """
+
+    live_elements: int = 0
+    peak_elements: int = 0
+    num_descriptors: int = 0
+    element_bytes: int = 12
+    descriptor_bytes: int = 20
+
+    def note_elements(self, live: int) -> None:
+        self.live_elements = live
+        if live > self.peak_elements:
+            self.peak_elements = live
+
+    @property
+    def peak_bytes(self) -> int:
+        return (
+            self.peak_elements * self.element_bytes
+            + self.num_descriptors * self.descriptor_bytes
+        )
+
+    @property
+    def peak_megabytes(self) -> float:
+        return self.peak_bytes / 1_000_000.0
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of simulating one fault universe against one test sequence."""
+
+    engine: str
+    circuit_name: str
+    num_faults: int
+    num_vectors: int
+    detected: Dict[Fault, int] = field(default_factory=dict)
+    #: Faults whose machine showed an unknown value at an output whose good
+    #: value was known (first such cycle).  A fault may appear here *and*
+    #: in ``detected`` — potential detection often precedes the hard one.
+    potentially_detected: Dict[Fault, int] = field(default_factory=dict)
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    memory: MemoryStats = field(default_factory=MemoryStats)
+    wall_seconds: float = 0.0
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.detected)
+
+    @property
+    def coverage(self) -> float:
+        """Fault coverage as a fraction in [0, 1]."""
+        if self.num_faults == 0:
+            return 0.0
+        return self.num_detected / self.num_faults
+
+    @property
+    def potential_coverage(self) -> float:
+        """Coverage counting potential detections (hard ∪ potential)."""
+        if self.num_faults == 0:
+            return 0.0
+        covered = set(self.detected) | set(self.potentially_detected)
+        return len(covered) / self.num_faults
+
+    def detection_profile(self) -> Dict[int, int]:
+        """Cycle -> number of first detections at that cycle."""
+        profile: Dict[int, int] = {}
+        for cycle in self.detected.values():
+            profile[cycle] = profile.get(cycle, 0) + 1
+        return dict(sorted(profile.items()))
+
+    def undetected(self, universe) -> list:
+        """Faults from *universe* this run never detected."""
+        return [fault for fault in universe if fault not in self.detected]
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine}: {self.num_detected}/{self.num_faults} faults "
+            f"({100.0 * self.coverage:.2f}%) in {self.num_vectors} vectors, "
+            f"{self.wall_seconds:.3f}s, peak {self.memory.peak_megabytes:.3f} MB"
+        )

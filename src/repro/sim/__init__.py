@@ -1,0 +1,22 @@
+"""Good-machine logic simulators.
+
+:mod:`repro.sim.logicsim` is the zero-delay cycle-based reference simulator
+that every fault simulator in the repository is checked against and that the
+serial baseline is built on.  :mod:`repro.sim.eventsim` is the two-phase
+arbitrary-delay event-driven simulator demonstrating the generality argument
+of the paper's Section 2 (concurrent simulation is not restricted to
+zero-delay synchronous operation).
+"""
+
+from repro.sim.logicsim import LogicSimulator
+from repro.sim.eventsim import EventSimulator
+from repro.sim.delays import DelayModel, unit_delays, typed_delays, random_delays
+
+__all__ = [
+    "LogicSimulator",
+    "EventSimulator",
+    "DelayModel",
+    "unit_delays",
+    "typed_delays",
+    "random_delays",
+]

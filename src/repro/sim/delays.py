@@ -1,0 +1,89 @@
+"""Gate propagation-delay models for arbitrary-delay simulation.
+
+The paper's case for concurrent simulation over pattern-parallel methods is
+that it is not tied to zero delay: "the circuit gates may have arbitrary but
+known propagation delays".  A :class:`DelayModel` maps each gate to an
+integer delay (in arbitrary time units); the event-driven simulator and the
+arbitrary-delay benchmarks consume it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping
+
+from repro.circuit.netlist import Circuit
+from repro.logic.tables import GateType
+
+
+class DelayModel:
+    """Per-gate integer propagation delays.
+
+    Sources (primary inputs, flip-flop outputs) always have delay 0; their
+    changes take effect at the instant they are applied.
+    """
+
+    def __init__(self, circuit: Circuit, delays: Mapping[int, int]) -> None:
+        self.circuit = circuit
+        self._delays: Dict[int, int] = {}
+        for gate in circuit.gates:
+            if gate.gtype in (GateType.INPUT, GateType.DFF):
+                self._delays[gate.index] = 0
+                continue
+            delay = delays.get(gate.index, 1)
+            if delay < 1:
+                raise ValueError(f"gate {gate.name!r}: combinational delay must be >= 1")
+            self._delays[gate.index] = delay
+
+    def delay(self, gate_index: int) -> int:
+        return self._delays[gate_index]
+
+    @property
+    def max_delay(self) -> int:
+        return max(self._delays.values(), default=0)
+
+
+def unit_delays(circuit: Circuit) -> DelayModel:
+    """Every combinational gate has delay 1."""
+    return DelayModel(circuit, {})
+
+
+#: Representative relative delays per gate type (inverters fast, XOR slow).
+_TYPE_DELAYS = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.AND: 3,
+    GateType.OR: 3,
+    GateType.XOR: 4,
+    GateType.XNOR: 4,
+    GateType.MACRO: 3,
+    GateType.CONST0: 1,
+    GateType.CONST1: 1,
+}
+
+
+def typed_delays(circuit: Circuit) -> DelayModel:
+    """Delays assigned by gate type (a simple technology-like model)."""
+    return DelayModel(
+        circuit,
+        {
+            gate.index: _TYPE_DELAYS.get(gate.gtype, 2)
+            for gate in circuit.gates
+            if gate.gtype not in (GateType.INPUT, GateType.DFF)
+        },
+    )
+
+
+def random_delays(circuit: Circuit, seed: int = 7, lo: int = 1, hi: int = 6) -> DelayModel:
+    """Uniformly random integer delays in ``[lo, hi]`` (deterministic seed)."""
+    rng = random.Random(seed)
+    return DelayModel(
+        circuit,
+        {
+            gate.index: rng.randint(lo, hi)
+            for gate in circuit.gates
+            if gate.gtype not in (GateType.INPUT, GateType.DFF)
+        },
+    )

@@ -1,0 +1,201 @@
+"""Two-phase arbitrary-delay event-driven logic simulation.
+
+This is the general simulation scheme the paper's Section 2 describes before
+specializing to zero delay: events mature in a timing queue; the first phase
+assigns matured values to gate outputs, the second phase evaluates the
+activated fanout gates and posts new events after each gate's propagation
+delay.  The concurrent *fault* engine in :mod:`repro.concurrent` specializes
+this to zero delay, and
+:class:`repro.concurrent.event_engine.ConcurrentEventFaultSimulator` runs
+many faulty machines on this timing model at once.
+
+This module's :class:`EventSimulator` simulates *one* machine — fault-free,
+or carrying a single stuck-at fault — and therefore serves as the serial
+oracle for the arbitrary-delay concurrent engine, exactly as
+:class:`repro.sim.logicsim.LogicSimulator` does for the zero-delay one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit, evaluate_gate
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.logic.tables import GateType
+from repro.logic.values import X
+from repro.sim.delays import DelayModel, unit_delays
+
+#: One recorded transition: (time, gate index, new value).
+Transition = Tuple[int, int, int]
+
+
+class EventSimulator:
+    """Event-driven simulator with per-gate transport delays.
+
+    ``fault`` injects one stuck-at fault: input-pin forcing applies when
+    the site gate evaluates, output forcing whenever the site's output is
+    assigned (including primary-input application and flip-flop latching).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delays: Optional[DelayModel] = None,
+        record: bool = False,
+        fault: Optional[StuckAtFault] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.delays = delays or unit_delays(circuit)
+        self.fault = fault
+        self.values: List[int] = [X] * len(circuit.gates)
+        self.time = 0
+        self.record = record
+        self.trace: List[Transition] = []
+        # Timing queue: min-heap of times with per-time event buckets.
+        self._bucket: Dict[int, List[Tuple[int, int]]] = {}
+        self._times: List[int] = []
+        # Last value scheduled (or settled) per gate, to suppress no-ops.
+        self._last_target: List[int] = [X] * len(circuit.gates)
+        self._powered_up = False
+        self.events_processed = 0
+        self.evaluations = 0
+
+    # -- fault forcing ------------------------------------------------------
+
+    def _forced_output(self, gate_index: int, value: int) -> int:
+        fault = self.fault
+        if fault is not None and fault.gate == gate_index and fault.pin == OUTPUT_PIN:
+            return fault.value
+        return value
+
+    def _gate_inputs(self, gate_index: int) -> List[int]:
+        gate = self.circuit.gates[gate_index]
+        inputs = [self.values[source] for source in gate.fanin]
+        fault = self.fault
+        if fault is not None and fault.gate == gate_index and fault.pin != OUTPUT_PIN:
+            inputs[fault.pin] = fault.value
+        return inputs
+
+    # -- event queue ------------------------------------------------------
+
+    def _post(self, at_time: int, gate_index: int, value: int) -> None:
+        if at_time < self.time:
+            raise ValueError("cannot schedule an event in the past")
+        if self._last_target[gate_index] == value:
+            return
+        self._last_target[gate_index] = value
+        bucket = self._bucket.get(at_time)
+        if bucket is None:
+            bucket = []
+            self._bucket[at_time] = bucket
+            heapq.heappush(self._times, at_time)
+        bucket.append((gate_index, value))
+
+    def set_input(self, position: int, value: int, at_time: Optional[int] = None) -> None:
+        """Schedule a primary-input change (position in circuit PI order)."""
+        gate_index = self.circuit.inputs[position]
+        self._post(
+            self.time if at_time is None else at_time,
+            gate_index,
+            self._forced_output(gate_index, value),
+        )
+
+    def power_up(self) -> None:
+        """Evaluate every combinational gate once from the all-X state.
+
+        Constants (and an injected fault's forced lines) acquire their
+        values this way; a purely event-driven start would leave a forced
+        gate invisible until something else disturbed it.  Called
+        automatically by the synchronous wrapper on first use.
+        """
+        if self._powered_up:
+            return
+        self._powered_up = True
+        for gate_index in self.circuit.order:
+            gate = self.circuit.gates[gate_index]
+            self.evaluations += 1
+            value = self._forced_output(
+                gate_index, evaluate_gate(gate, self._gate_inputs(gate_index))
+            )
+            self._post(self.time + self.delays.delay(gate_index), gate_index, value)
+        fault = self.fault
+        if fault is not None and fault.pin == OUTPUT_PIN:
+            gate = self.circuit.gates[fault.gate]
+            if gate.gtype in (GateType.INPUT, GateType.DFF):
+                self._post(self.time, fault.gate, fault.value)
+
+    # -- core loop --------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events in time order; returns the quiescence time.
+
+        Stops when the queue empties or the next event lies beyond *until*.
+        """
+        circuit = self.circuit
+        while self._times:
+            now = self._times[0]
+            if until is not None and now > until:
+                self.time = until
+                return self.time
+            heapq.heappop(self._times)
+            events = self._bucket.pop(now)
+            self.time = now
+
+            # Phase 1: assign matured values, collect activated fanouts.
+            activated: Set[int] = set()
+            for gate_index, value in events:
+                self.events_processed += 1
+                if self.values[gate_index] == value:
+                    continue
+                self.values[gate_index] = value
+                if self.record:
+                    self.trace.append((now, gate_index, value))
+                for sink in circuit.gates[gate_index].fanout:
+                    if circuit.gates[sink].gtype not in (GateType.INPUT, GateType.DFF):
+                        activated.add(sink)
+
+            # Phase 2: evaluate activated gates, post delayed events.
+            for gate_index in sorted(activated):
+                gate = circuit.gates[gate_index]
+                self.evaluations += 1
+                value = self._forced_output(
+                    gate_index, evaluate_gate(gate, self._gate_inputs(gate_index))
+                )
+                self._post(now + self.delays.delay(gate_index), gate_index, value)
+        if until is not None:
+            self.time = max(self.time, until)
+        return self.time
+
+    # -- synchronous wrapper ------------------------------------------------
+
+    def run_cycle(self, vector: Sequence[int], period: int) -> Tuple[int, ...]:
+        """Apply one vector, run one clock period, sample POs, latch DFFs.
+
+        The period must comfortably exceed the critical path for correct
+        synchronous operation; an insufficient period *is* simulated
+        faithfully (the flip-flops latch whatever has arrived), which is
+        exactly the behaviour delay-fault analysis cares about.
+        """
+        circuit = self.circuit
+        if len(vector) != len(circuit.inputs):
+            raise ValueError("vector width mismatch")
+        self.power_up()
+        for position, value in enumerate(vector):
+            self.set_input(position, value, at_time=self.time)
+        deadline = self.time + period
+        self.run(until=deadline)
+        outputs = tuple(self.values[index] for index in circuit.outputs)
+        for ff_index in circuit.dffs:
+            gate = circuit.gates[ff_index]
+            d_value = self._gate_inputs(ff_index)[0]
+            self._post(deadline, ff_index, self._forced_output(ff_index, d_value))
+        self.time = deadline
+        return outputs
+
+    def run_sequence(self, vectors: Sequence[Sequence[int]], period: int) -> List[Tuple[int, ...]]:
+        """Run a whole synchronous test sequence; PO samples per cycle."""
+        return [self.run_cycle(vector, period) for vector in vectors]
+
+    def quiescent(self) -> bool:
+        return not self._times

@@ -1,0 +1,108 @@
+"""Zero-delay cycle-based logic simulation (the reference semantics).
+
+Each clock cycle: apply a primary-input vector, settle the combinational
+network by evaluating gates in level order, observe the primary outputs,
+then update every flip-flop from its settled D value.  All state starts at
+X (unknown power-up).
+
+The simulator optionally carries one injected stuck-at fault, which is what
+the serial fault-simulation baseline (:mod:`repro.baselines.serial`) and all
+cross-validation tests build on: this module *defines* what every fancier
+engine must compute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, evaluate_gate
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.logic.tables import GateType
+from repro.logic.values import X
+
+
+class LogicSimulator:
+    """Cycle simulator for one machine (good, or good + one stuck-at fault).
+
+    The public surface is deliberately small: :meth:`reset`,
+    :meth:`step` (apply one vector, return PO values), and read access to
+    the settled node values.
+    """
+
+    def __init__(self, circuit: Circuit, fault: Optional[StuckAtFault] = None) -> None:
+        self.circuit = circuit
+        self.fault = fault
+        self.values: List[int] = [X] * len(circuit.gates)
+        self.cycle = 0
+
+    def reset(self) -> None:
+        """Return to the all-X power-up state."""
+        for index in range(len(self.values)):
+            self.values[index] = X
+        self.cycle = 0
+
+    # -- fault forcing ----------------------------------------------------
+
+    def _forced_output(self, gate_index: int, value: int) -> int:
+        fault = self.fault
+        if fault is not None and fault.gate == gate_index and fault.pin == OUTPUT_PIN:
+            return fault.value
+        return value
+
+    def _gate_inputs(self, gate_index: int) -> List[int]:
+        gate = self.circuit.gates[gate_index]
+        inputs = [self.values[source] for source in gate.fanin]
+        fault = self.fault
+        if fault is not None and fault.gate == gate_index and fault.pin != OUTPUT_PIN:
+            inputs[fault.pin] = fault.value
+        return inputs
+
+    # -- simulation -------------------------------------------------------
+
+    def settle(self, vector: Sequence[int]) -> None:
+        """Apply *vector* to the PIs and settle the combinational network."""
+        circuit = self.circuit
+        if len(vector) != len(circuit.inputs):
+            raise ValueError(
+                f"vector has {len(vector)} values for {len(circuit.inputs)} inputs"
+            )
+        for pi_index, value in zip(circuit.inputs, vector):
+            self.values[pi_index] = self._forced_output(pi_index, value)
+        # Flip-flop outputs hold their latched value, but an output fault on
+        # a flip-flop forces it every cycle.
+        fault = self.fault
+        if fault is not None and fault.pin == OUTPUT_PIN:
+            gate = circuit.gates[fault.gate]
+            if gate.gtype is GateType.DFF:
+                self.values[fault.gate] = fault.value
+        for gate_index in circuit.order:
+            gate = circuit.gates[gate_index]
+            value = evaluate_gate(gate, self._gate_inputs(gate_index))
+            self.values[gate_index] = self._forced_output(gate_index, value)
+
+    def sample_outputs(self) -> Tuple[int, ...]:
+        """Settled primary-output values of the current cycle."""
+        return tuple(self.values[index] for index in self.circuit.outputs)
+
+    def clock(self) -> None:
+        """Latch every flip-flop from its settled D value (two-phase)."""
+        circuit = self.circuit
+        pending: List[Tuple[int, int]] = []
+        for ff_index in circuit.dffs:
+            gate = circuit.gates[ff_index]
+            d_value = self._gate_inputs(ff_index)[0]
+            pending.append((ff_index, self._forced_output(ff_index, d_value)))
+        for ff_index, value in pending:
+            self.values[ff_index] = value
+        self.cycle += 1
+
+    def step(self, vector: Sequence[int]) -> Tuple[int, ...]:
+        """Simulate one full clock cycle; returns the sampled PO values."""
+        self.settle(vector)
+        outputs = self.sample_outputs()
+        self.clock()
+        return outputs
+
+    def run(self, vectors: Sequence[Sequence[int]]) -> List[Tuple[int, ...]]:
+        """Simulate a whole sequence; returns PO values per cycle."""
+        return [self.step(vector) for vector in vectors]

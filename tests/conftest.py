@@ -1,0 +1,33 @@
+"""Shared fixtures: the s27 reference circuit and small deterministic
+workloads used across the suite."""
+
+import random
+
+import pytest
+
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.patterns.random_gen import random_sequence
+
+
+@pytest.fixture
+def s27():
+    return load("s27")
+
+
+@pytest.fixture
+def s27_tests(s27):
+    return random_sequence(s27, 50, seed=3)
+
+
+def make_circuit(seed, **overrides):
+    """Deterministic small random circuit for cross-validation tests."""
+    rng = random.Random(seed)
+    params = dict(num_inputs=4, num_gates=15, num_dffs=2, num_outputs=2)
+    params.update(overrides)
+    return random_circuit(rng, name=f"fix{seed}", **params)
+
+
+@pytest.fixture
+def small_circuit():
+    return make_circuit(1234)

@@ -1,0 +1,110 @@
+"""ISCAS-89 .bench parser/writer tests, including round-trip properties."""
+
+import random
+
+import pytest
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import S27_BENCH
+from repro.circuit.netlist import NetlistError
+from repro.logic.tables import GateType
+
+
+class TestParse:
+    def test_s27_shape(self):
+        circuit = parse_bench(S27_BENCH, "s27")
+        assert len(circuit.inputs) == 4
+        assert len(circuit.outputs) == 1
+        assert len(circuit.dffs) == 3
+        assert circuit.num_combinational == 10
+
+    def test_comments_and_blank_lines_ignored(self):
+        circuit = parse_bench(
+            """
+            # a comment
+            INPUT(a)   # trailing comment
+            OUTPUT(g)
+
+            g = NOT(a)
+            """
+        )
+        assert circuit.gate("g").gtype is GateType.NOT
+
+    def test_case_insensitive_keywords(self):
+        circuit = parse_bench("INPUT(a)\noutput(g)\ng = nand(a, a)\n")
+        assert circuit.gate("g").gtype is GateType.NAND
+
+    def test_buff_and_inv_aliases(self):
+        circuit = parse_bench(
+            "INPUT(a)\nOUTPUT(g)\nb = BUFF(a)\ng = INV(b)\n"
+        )
+        assert circuit.gate("b").gtype is GateType.BUF
+        assert circuit.gate("g").gtype is GateType.NOT
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(NetlistError, match="unknown gate keyword"):
+            parse_bench("INPUT(a)\nOUTPUT(g)\ng = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(NetlistError, match="cannot parse"):
+            parse_bench("INPUT(a)\nOUTPUT(a)\nwhat is this\n")
+
+    def test_dff_must_have_one_fanin(self):
+        with pytest.raises(NetlistError, match="exactly one fanin"):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n")
+
+    def test_whitespace_tolerant(self):
+        circuit = parse_bench("INPUT( a )\nOUTPUT( g )\ng   =  AND( a ,a )\n")
+        assert circuit.gate("g").arity == 2
+
+
+class TestWrite:
+    def test_s27_roundtrip(self):
+        original = parse_bench(S27_BENCH, "s27")
+        text = write_bench(original)
+        again = parse_bench(text, "s27")
+        assert len(again) == len(original)
+        for gate in original.gates:
+            twin = again.gate(gate.name)
+            assert twin.gtype is gate.gtype
+            assert [again.gates[i].name for i in twin.fanin] == [
+                original.gates[i].name for i in gate.fanin
+            ]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_roundtrip(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, num_gates=20, num_dffs=3)
+        again = parse_bench(write_bench(circuit), circuit.name)
+        assert len(again) == len(circuit)
+        assert {g.name for g in again.gates if g.is_output} == {
+            g.name for g in circuit.gates if g.is_output
+        }
+
+    def test_macro_circuit_rejected(self):
+        from repro.circuit.library import load
+        from repro.circuit.macro import extract_macros
+
+        macro = extract_macros(load("s27")).circuit
+        with pytest.raises(NetlistError, match="no .bench form"):
+            write_bench(macro)
+
+    def test_writes_to_stream(self):
+        import io
+
+        circuit = parse_bench(S27_BENCH, "s27")
+        stream = io.StringIO()
+        text = write_bench(circuit, stream)
+        assert stream.getvalue() == text
+
+
+class TestParseFile:
+    def test_parse_bench_file(self, tmp_path):
+        from repro.circuit.bench import parse_bench_file
+
+        path = tmp_path / "mini.bench"
+        path.write_text("INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n")
+        circuit = parse_bench_file(str(path))
+        assert circuit.name == "mini"
+        assert circuit.gate("g").gtype is GateType.NOT

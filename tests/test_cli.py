@@ -1,0 +1,80 @@
+"""Command-line interface tests (in-process, via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_stats_s27(self, capsys):
+        assert main(["stats", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "collapsed stuck-at faults" in out
+
+    def test_stats_from_file(self, tmp_path, capsys):
+        path = tmp_path / "c.bench"
+        path.write_text("INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n")
+        assert main(["stats", str(path)]) == 0
+        assert "c" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_random_patterns(self, capsys):
+        assert main(["simulate", "s27", "--random-patterns", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "csim-MV" in out
+        assert "faults" in out
+
+    def test_engine_choice(self, capsys):
+        assert main(["simulate", "s27", "--engine", "PROOFS",
+                     "--random-patterns", "20"]) == 0
+        assert "PROOFS" in capsys.readouterr().out
+
+    def test_verbose_lists_detections(self, capsys):
+        assert main(["simulate", "s27", "--random-patterns", "50",
+                     "--seed", "3", "--verbose"]) == 0
+        assert "cycle" in capsys.readouterr().out
+
+    def test_tests_file(self, tmp_path, capsys):
+        vectors = tmp_path / "t.vec"
+        vectors.write_text("0000\n1111\n0101\n")
+        assert main(["simulate", "s27", "--tests", str(vectors)]) == 0
+        assert "3 vectors" in capsys.readouterr().out
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "s27", "--engine", "bogus"])
+
+
+class TestTransition:
+    def test_runs(self, capsys):
+        assert main(["transition", "s27", "--random-patterns", "30"]) == 0
+        assert "csim-T" in capsys.readouterr().out
+
+
+class TestGenerateTests:
+    def test_writes_vectors_to_stdout(self, capsys):
+        assert main(["generate-tests", "s27", "--target", "0.5"]) == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line]
+        assert lines, "no vectors produced"
+        assert all(set(line) <= set("01X") for line in lines)
+        assert "coverage" in captured.err
+
+    def test_output_file_roundtrips(self, tmp_path, capsys):
+        out = tmp_path / "t.vec"
+        assert main(["generate-tests", "s27", "--target", "0.5",
+                     "-o", str(out)]) == 0
+        assert main(["simulate", "s27", "--tests", str(out)]) == 0
+        assert "faults" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            main(["stats", "s99999"])

@@ -1,0 +1,132 @@
+"""Critical path tracing: local rules, stem analysis, deductive equality."""
+
+import random
+
+import pytest
+
+from repro.baselines.cpt import cpt_detects, critical_lines, simulate_cpt
+from repro.baselines.deductive import deductive_detects, simulate_deductive
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.circuit.netlist import CircuitBuilder
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.patterns.random_gen import random_sequence
+
+
+def _comb(seed, gates=15):
+    rng = random.Random(seed)
+    return random_circuit(rng, num_gates=gates, num_dffs=0, name=f"cpt{seed}")
+
+
+class TestGuards:
+    def test_sequential_rejected(self):
+        with pytest.raises(ValueError, match="combinational-only"):
+            cpt_detects(load("s27"), (ZERO, ZERO, ZERO, ZERO))
+
+    def test_x_rejected(self):
+        circuit = _comb(1)
+        with pytest.raises(ValueError, match="two-valued"):
+            cpt_detects(circuit, (X,) * len(circuit.inputs))
+
+
+class TestLocalRules:
+    def _and_circuit(self):
+        builder = CircuitBuilder("and2")
+        builder.add_input("a")
+        builder.add_input("b")
+        builder.add_gate("g", GateType.AND, ["a", "b"])
+        builder.set_output("g")
+        return builder.build()
+
+    def test_no_controlling_input_all_critical(self):
+        circuit = self._and_circuit()
+        g = circuit.index_of("g")
+        _, pins, _ = critical_lines(circuit, (ONE, ONE))
+        assert pins == {(g, 0), (g, 1)}
+
+    def test_single_controlling_input_critical_alone(self):
+        circuit = self._and_circuit()
+        g = circuit.index_of("g")
+        _, pins, _ = critical_lines(circuit, (ZERO, ONE))
+        assert pins == {(g, 0)}
+
+    def test_two_controlling_inputs_none_critical(self):
+        circuit = self._and_circuit()
+        _, pins, _ = critical_lines(circuit, (ZERO, ZERO))
+        assert pins == set()
+
+    def test_xor_inputs_always_critical(self):
+        builder = CircuitBuilder("x2")
+        builder.add_input("a")
+        builder.add_input("b")
+        builder.add_gate("g", GateType.XOR, ["a", "b"])
+        builder.set_output("g")
+        circuit = builder.build()
+        g = circuit.index_of("g")
+        _, pins, _ = critical_lines(circuit, (ZERO, ZERO))
+        assert pins == {(g, 0), (g, 1)}
+
+
+class TestStems:
+    def test_self_masking_stem_not_critical(self):
+        """g = XOR(a, a): both branches critical by local rules, but the
+        stem a is self-masking — flipping it leaves g unchanged."""
+        builder = CircuitBuilder("mask")
+        builder.add_input("a")
+        builder.add_gate("g", GateType.XOR, ["a", "a"])
+        builder.set_output("g")
+        circuit = builder.build()
+        a = circuit.index_of("a")
+        outs, pins, _ = critical_lines(circuit, (ONE,))
+        assert a not in outs
+        assert len(pins) == 2  # the branches are individually critical
+
+    def test_multiple_path_stem_critical(self):
+        """g = AND(a, NOT(NOT(a))): flipping a flips g — stem critical."""
+        builder = CircuitBuilder("re")
+        builder.add_input("a")
+        builder.add_gate("n1", GateType.NOT, ["a"])
+        builder.add_gate("n2", GateType.NOT, ["n1"])
+        builder.add_gate("g", GateType.AND, ["a", "n2"])
+        builder.set_output("g")
+        circuit = builder.build()
+        a = circuit.index_of("a")
+        outs, _, _ = critical_lines(circuit, (ONE,))
+        assert a in outs
+
+
+class TestAgainstDeductive:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_per_vector_equality(self, seed):
+        """Exact stem analysis makes CPT's detections identical to
+        deductive simulation's, vector for vector."""
+        circuit = _comb(seed + 40, gates=18)
+        faults = all_stuck_at_faults(circuit)
+        rng = random.Random(seed)
+        for _ in range(5):
+            vector = tuple(rng.choice((ZERO, ONE)) for _ in circuit.inputs)
+            assert cpt_detects(circuit, vector, faults) == deductive_detects(
+                circuit, vector, faults
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sequence_equality(self, seed):
+        circuit = _comb(seed + 90)
+        faults = stuck_at_universe(circuit)
+        tests = random_sequence(circuit, 8, seed=seed)
+        cpt = simulate_cpt(circuit, tests.vectors, faults)
+        deductive = simulate_deductive(circuit, tests.vectors, faults)
+        assert cpt.detected == deductive.detected
+
+    def test_result_record(self):
+        circuit = _comb(7)
+        tests = random_sequence(circuit, 5, seed=2)
+        result = simulate_cpt(circuit, tests.vectors)
+        assert result.engine == "critical-path-tracing"
+        assert result.counters.cycles == 5
+        # CPT's cost is fault-count independent: far fewer fault
+        # evaluations than one per (fault, vector).
+        assert result.counters.fault_evaluations < result.num_faults * 5

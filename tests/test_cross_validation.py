@@ -1,0 +1,117 @@
+"""The load-bearing test: every engine computes identical detections.
+
+For randomized (circuit, fault-universe, test-sequence) instances, the
+serial oracle, the PROOFS baseline, and every concurrent variant must agree
+on the *exact* set of detected faults and the cycle of each first
+detection.  Any divergence/convergence, scheduling, dropping, macro
+translation or word-parallel bug shows up here.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.proofs import ProofsSimulator
+from repro.baselines.serial import simulate_serial
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM, CSIM_M, CSIM_MV, CSIM_V
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
+from repro.patterns.random_gen import random_sequence
+
+ALL_VARIANTS = (CSIM, CSIM_V, CSIM_M, CSIM_MV)
+
+
+def _instance(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(
+        rng,
+        num_inputs=rng.randint(2, 5),
+        num_gates=rng.randint(6, 25),
+        num_dffs=rng.randint(0, 4),
+        num_outputs=rng.randint(1, 3),
+        name=f"xval{seed}",
+    )
+    collapse = seed % 3 != 0
+    faults = (
+        stuck_at_universe(circuit) if collapse else all_stuck_at_faults(circuit)
+    )
+    tests = random_sequence(
+        circuit,
+        rng.randint(4, 25),
+        seed=seed * 7 + 1,
+        x_probability=0.1 if seed % 4 == 0 else 0.0,
+    )
+    return circuit, faults, tests
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_concurrent_variants_match_serial(seed):
+    circuit, faults, tests = _instance(seed)
+    oracle = simulate_serial(circuit, tests.vectors, faults)
+    for options in ALL_VARIANTS:
+        result = ConcurrentFaultSimulator(circuit, faults, options).run(tests)
+        assert result.detected == oracle.detected, options.variant_name
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_proofs_matches_serial(seed):
+    circuit, faults, tests = _instance(seed)
+    oracle = simulate_serial(circuit, tests.vectors, faults)
+    result = ProofsSimulator(circuit, faults, word_size=8).run(tests)
+    assert result.detected == oracle.detected
+
+
+@pytest.mark.parametrize("word_size", [1, 2, 8, 32, 64, 256])
+def test_proofs_word_size_irrelevant(word_size):
+    circuit, faults, tests = _instance(5)
+    oracle = simulate_serial(circuit, tests.vectors, faults)
+    result = ProofsSimulator(circuit, faults, word_size=word_size).run(tests)
+    assert result.detected == oracle.detected
+
+
+def test_s27_full_agreement(s27, s27_tests):
+    faults = stuck_at_universe(s27)
+    oracle = simulate_serial(s27, s27_tests.vectors, faults)
+    engines = [
+        ConcurrentFaultSimulator(s27, faults, options).run(s27_tests)
+        for options in ALL_VARIANTS
+    ]
+    engines.append(ProofsSimulator(s27, faults).run(s27_tests))
+    for result in engines:
+        assert result.detected == oracle.detected, result.engine
+    # s27 with 50 random vectors detects most of its faults.
+    assert oracle.coverage > 0.8
+
+
+def test_dropping_disabled_still_matches(s27, s27_tests):
+    faults = stuck_at_universe(s27)
+    oracle = simulate_serial(s27, s27_tests.vectors, faults)
+    result = ConcurrentFaultSimulator(
+        s27, faults, CSIM_MV.with_(drop_detected=False)
+    ).run(s27_tests)
+    assert result.detected == oracle.detected
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_macro_cap_variations_match(seed):
+    circuit, faults, tests = _instance(seed)
+    oracle = simulate_serial(circuit, tests.vectors, faults)
+    for cap in (1, 2, 3, 4, 6):
+        result = ConcurrentFaultSimulator(
+            circuit, faults, CSIM_MV.with_(macro_max_inputs=cap)
+        ).run(tests)
+        assert result.detected == oracle.detected, f"cap={cap}"
+
+
+def test_combinational_only_circuits():
+    rng = random.Random(123)
+    circuit = random_circuit(rng, num_gates=15, num_dffs=0, name="comb")
+    faults = stuck_at_universe(circuit)
+    tests = random_sequence(circuit, 10, seed=5)
+    oracle = simulate_serial(circuit, tests.vectors, faults)
+    for options in ALL_VARIANTS:
+        result = ConcurrentFaultSimulator(circuit, faults, options).run(tests)
+        assert result.detected == oracle.detected
+    assert ProofsSimulator(circuit, faults).run(tests).detected == oracle.detected

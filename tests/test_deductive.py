@@ -1,0 +1,77 @@
+"""Deductive fault simulation: combinational baseline and its guard rails."""
+
+import random
+
+import pytest
+
+from repro.baselines.deductive import deductive_detects, simulate_deductive
+from repro.baselines.serial import simulate_serial
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.circuit.netlist import CircuitBuilder
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.patterns.random_gen import random_sequence
+
+
+def _comb_circuit(seed, gates=15):
+    rng = random.Random(seed)
+    return random_circuit(rng, num_gates=gates, num_dffs=0, name=f"ded{seed}")
+
+
+class TestGuards:
+    def test_sequential_rejected(self):
+        with pytest.raises(ValueError, match="combinational-only"):
+            deductive_detects(load("s27"), (ZERO, ZERO, ZERO, ZERO))
+
+    def test_x_vector_rejected(self):
+        circuit = _comb_circuit(1)
+        vector = [X] * len(circuit.inputs)
+        with pytest.raises(ValueError, match="two-valued"):
+            deductive_detects(circuit, vector)
+
+
+class TestSingleVector:
+    def test_and_gate_example(self):
+        builder = CircuitBuilder("and2")
+        builder.add_input("a")
+        builder.add_input("b")
+        builder.add_gate("g", GateType.AND, ["a", "b"])
+        builder.set_output("g")
+        circuit = builder.build()
+        g = circuit.index_of("g")
+        # Use the uncollapsed universe so every site appears by itself.
+        detected = deductive_detects(circuit, (ONE, ONE), all_stuck_at_faults(circuit))
+        from repro.faults.model import OUTPUT_PIN, StuckAtFault
+
+        assert StuckAtFault.make(g, 0, 0) in detected
+        assert StuckAtFault.make(g, OUTPUT_PIN, 0) in detected
+        assert StuckAtFault.make(g, 0, 1) not in detected  # not excited
+
+    def test_universe_filter(self):
+        circuit = _comb_circuit(2)
+        universe = stuck_at_universe(circuit)[:5]
+        detected = deductive_detects(circuit, (ZERO,) * len(circuit.inputs), universe)
+        assert detected <= set(universe)
+
+
+class TestAgainstSerial:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_serial_per_vector_set(self, seed):
+        circuit = _comb_circuit(seed + 10)
+        faults = (
+            all_stuck_at_faults(circuit) if seed % 2 else stuck_at_universe(circuit)
+        )
+        tests = random_sequence(circuit, 8, seed=seed)
+        oracle = simulate_serial(circuit, tests.vectors, faults)
+        result = simulate_deductive(circuit, tests.vectors, faults)
+        assert result.detected == oracle.detected
+
+    def test_result_fields(self):
+        circuit = _comb_circuit(3)
+        tests = random_sequence(circuit, 5, seed=1)
+        result = simulate_deductive(circuit, tests.vectors)
+        assert result.engine == "deductive"
+        assert result.num_vectors == 5
+        assert 0.0 <= result.coverage <= 1.0

@@ -1,0 +1,175 @@
+"""Arbitrary-delay concurrent fault simulation vs the serial event oracle.
+
+The generality claim of the paper's Section 2 under test: one concurrent
+engine with a timing queue must reproduce, fault for fault and cycle for
+cycle, what simulating each faulty machine alone on the event-driven
+simulator produces — for random delay assignments, for clock periods both
+ample and too short, and for X-bearing stimulus.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.circuit.macro import extract_macros
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.event_engine import ConcurrentEventFaultSimulator
+from repro.concurrent.options import CSIM_MV, CSIM_V
+from repro.faults.universe import stuck_at_universe
+from repro.logic.values import X, is_binary
+from repro.patterns.random_gen import random_sequence
+from repro.sim.delays import random_delays, typed_delays, unit_delays
+from repro.sim.eventsim import EventSimulator
+
+
+def serial_event_reference(circuit, faults, vectors, period, delays):
+    """One EventSimulator run per fault: the oracle."""
+    good = EventSimulator(circuit, delays)
+    good_outputs = good.run_sequence(vectors, period)
+    detected, potential = {}, {}
+    for fault in faults:
+        machine = EventSimulator(circuit, delays, fault=fault)
+        for cycle, vector in enumerate(vectors, start=1):
+            outputs = machine.run_cycle(vector, period)
+            good_now = good_outputs[cycle - 1]
+            if (
+                fault not in potential
+                and fault not in detected
+                and any(
+                    is_binary(g) and f == X for g, f in zip(good_now, outputs)
+                )
+            ):
+                potential[fault] = cycle
+            if any(
+                is_binary(g) and is_binary(f) and g != f
+                for g, f in zip(good_now, outputs)
+            ):
+                detected[fault] = cycle
+                break
+    return detected, potential
+
+
+def _instance(seed):
+    rng = random.Random(seed + 7000)
+    circuit = random_circuit(
+        rng,
+        num_inputs=rng.randint(2, 4),
+        num_gates=rng.randint(5, 16),
+        num_dffs=rng.randint(0, 3),
+        num_outputs=rng.randint(1, 2),
+        name=f"evx{seed}",
+    )
+    delays = (
+        random_delays(circuit, seed=seed, lo=1, hi=5)
+        if seed % 2
+        else unit_delays(circuit)
+    )
+    ample = delays.max_delay * max(1, circuit.num_levels) + 3
+    period = ample if seed % 3 else max(2, ample // 2)
+    tests = random_sequence(
+        circuit,
+        rng.randint(3, 10),
+        seed=seed * 11 + 5,
+        x_probability=0.15 if seed % 4 == 0 else 0.0,
+    )
+    return circuit, delays, period, tests
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_serial_event_oracle(self, seed):
+        circuit, delays, period, tests = _instance(seed)
+        faults = stuck_at_universe(circuit)
+        expected_detected, expected_potential = serial_event_reference(
+            circuit, faults, tests.vectors, period, delays
+        )
+        result = ConcurrentEventFaultSimulator(circuit, faults, delays).run(
+            tests.vectors, period
+        )
+        assert result.detected == expected_detected
+        assert result.potentially_detected == expected_potential
+
+    def test_ample_period_matches_zero_delay_engine(self):
+        """With the clock slower than the critical path, delay simulation
+        is functionally synchronous: detections must equal the zero-delay
+        concurrent engine's."""
+        circuit = load("s27")
+        faults = stuck_at_universe(circuit)
+        tests = random_sequence(circuit, 40, seed=3)
+        delays = typed_delays(circuit)
+        period = delays.max_delay * circuit.num_levels + 5
+        timed = ConcurrentEventFaultSimulator(circuit, faults, delays).run(
+            tests.vectors, period
+        )
+        zero = ConcurrentFaultSimulator(circuit, faults, CSIM_V).run(tests)
+        assert timed.detected == zero.detected
+
+    def test_short_period_changes_detections_honestly(self):
+        """An aggressive clock is simulated, not idealized: the oracle and
+        the concurrent engine agree even when the period undercuts paths."""
+        circuit, delays, _, tests = _instance(4)
+        faults = stuck_at_universe(circuit)
+        period = 2  # far below any realistic settle time
+        expected, _ = serial_event_reference(
+            circuit, faults, tests.vectors, period, delays
+        )
+        result = ConcurrentEventFaultSimulator(circuit, faults, delays).run(
+            tests.vectors, period
+        )
+        assert result.detected == expected
+
+
+class TestApi:
+    def test_macros_rejected(self):
+        circuit = load("s27")
+        with pytest.raises(ValueError, match="zero-delay optimization"):
+            ConcurrentEventFaultSimulator(circuit, options=CSIM_MV)
+
+    def test_vector_width_checked(self):
+        circuit = load("s27")
+        simulator = ConcurrentEventFaultSimulator(circuit)
+        with pytest.raises(ValueError):
+            simulator.run_cycle((0,), period=10)
+
+    def test_result_record(self):
+        circuit = load("s27")
+        tests = random_sequence(circuit, 10, seed=1)
+        result = ConcurrentEventFaultSimulator(circuit).run(tests.vectors, period=40)
+        assert result.engine == "csim-AD"
+        assert result.num_vectors == 10
+        assert result.memory.peak_elements > 0
+        assert result.counters.events > 0
+
+    def test_reset(self):
+        circuit = load("s27")
+        tests = random_sequence(circuit, 10, seed=1)
+        simulator = ConcurrentEventFaultSimulator(circuit)
+        first = simulator.run(tests.vectors, period=40)
+        simulator.reset()
+        second = simulator.run(tests.vectors, period=40)
+        assert first.detected == second.detected
+
+
+class TestEfficiency:
+    def test_concurrent_evaluates_less_than_serial(self):
+        """The point of the paradigm: one concurrent pass does far less
+        gate evaluation than #faults separate event simulations."""
+        circuit = load("s27")
+        faults = stuck_at_universe(circuit)
+        tests = random_sequence(circuit, 25, seed=9)
+        delays = typed_delays(circuit)
+        period = delays.max_delay * circuit.num_levels + 5
+        concurrent = ConcurrentEventFaultSimulator(circuit, faults, delays)
+        concurrent.run(tests.vectors, period)
+        serial_evaluations = 0
+        for fault in faults:
+            machine = EventSimulator(circuit, delays, fault=fault)
+            machine.run_sequence(tests.vectors, period)
+            serial_evaluations += machine.evaluations
+        concurrent_work = (
+            concurrent.counters.good_evaluations
+            + concurrent.counters.fault_evaluations
+        )
+        assert concurrent_work < serial_evaluations

@@ -1,0 +1,139 @@
+"""The arbitrary-delay event-driven simulator (Section 2's generality)."""
+
+import random
+
+import pytest
+
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.circuit.netlist import CircuitBuilder
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.patterns.random_gen import random_sequence
+from repro.sim.delays import DelayModel, random_delays, typed_delays, unit_delays
+from repro.sim.eventsim import EventSimulator
+from repro.sim.logicsim import LogicSimulator
+
+
+def glitch_circuit():
+    """Classic static-hazard circuit: g = AND(a, NOT(a)) glitches on a's
+    rise under unequal path delays, and is constant under zero delay."""
+    builder = CircuitBuilder("hazard")
+    builder.add_input("a")
+    builder.add_gate("n", GateType.NOT, ["a"])
+    builder.add_gate("g", GateType.AND, ["a", "n"])
+    builder.set_output("g")
+    return builder.build()
+
+
+class TestDelayModels:
+    def test_unit(self):
+        circuit = load("s27")
+        model = unit_delays(circuit)
+        assert all(
+            model.delay(index) == 1 for index in circuit.order
+        )
+        assert model.max_delay == 1
+
+    def test_sources_are_zero_delay(self):
+        circuit = load("s27")
+        model = typed_delays(circuit)
+        for index in circuit.inputs + circuit.dffs:
+            assert model.delay(index) == 0
+
+    def test_typed_inverter_faster_than_xor(self):
+        circuit = glitch_circuit()
+        model = typed_delays(circuit)
+        assert model.delay(circuit.index_of("n")) < 4
+
+    def test_random_deterministic(self):
+        circuit = load("s27")
+        first = random_delays(circuit, seed=3)
+        second = random_delays(circuit, seed=3)
+        assert all(
+            first.delay(index) == second.delay(index) for index in circuit.order
+        )
+
+    def test_zero_combinational_delay_rejected(self):
+        circuit = glitch_circuit()
+        with pytest.raises(ValueError):
+            DelayModel(circuit, {circuit.index_of("g"): 0})
+
+
+class TestEventPropagation:
+    def test_glitch_visible_with_slow_inverter(self):
+        circuit = glitch_circuit()
+        delays = DelayModel(
+            circuit, {circuit.index_of("n"): 5, circuit.index_of("g"): 1}
+        )
+        sim = EventSimulator(circuit, delays, record=True)
+        g = circuit.index_of("g")
+        sim.set_input(0, ZERO, at_time=0)
+        sim.run()
+        sim.set_input(0, ONE, at_time=sim.time + 1)
+        sim.run()
+        values_of_g = [value for _, gate, value in sim.trace if gate == g]
+        assert ONE in values_of_g  # the hazard pulse
+        assert sim.values[g] == ZERO  # settles back
+
+    def test_quiescence(self):
+        circuit = glitch_circuit()
+        sim = EventSimulator(circuit)
+        sim.set_input(0, ONE)
+        sim.run()
+        assert sim.quiescent()
+
+    def test_counters_advance(self):
+        circuit = load("s27")
+        sim = EventSimulator(circuit)
+        for position in range(4):
+            sim.set_input(position, ZERO)
+        sim.run()
+        assert sim.events_processed > 0
+        assert sim.evaluations > 0
+
+    def test_cannot_schedule_in_past(self):
+        sim = EventSimulator(glitch_circuit())
+        sim.set_input(0, ONE, at_time=5)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.set_input(0, ZERO, at_time=1)
+
+
+class TestSynchronousWrapper:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_zero_delay_with_ample_period(self, seed):
+        """With a clock period beyond the critical path, arbitrary-delay
+        simulation samples exactly what the zero-delay simulator computes."""
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, num_gates=20, num_dffs=3)
+        delays = random_delays(circuit, seed=seed, lo=1, hi=4)
+        period = 4 * circuit.num_levels + 10
+        event_sim = EventSimulator(circuit, delays)
+        cycle_sim = LogicSimulator(circuit)
+        for vector in random_sequence(circuit, 10, seed=seed + 50):
+            assert event_sim.run_cycle(vector, period) == cycle_sim.step(vector)
+
+    def test_short_period_can_missample(self):
+        # A period shorter than the path delay latches stale values; the
+        # simulator must model that honestly rather than idealize it.
+        builder = CircuitBuilder("slowpath")
+        builder.add_input("a")
+        builder.add_gate("n1", GateType.BUF, ["a"])
+        builder.add_gate("n2", GateType.BUF, ["n1"])
+        builder.add_dff("q", "n2")
+        builder.set_output("q")
+        circuit = builder.build()
+        delays = DelayModel(
+            circuit,
+            {circuit.index_of("n1"): 4, circuit.index_of("n2"): 4},
+        )
+        sim = EventSimulator(circuit, delays)
+        sim.run_cycle((ONE,), period=3)  # too short for the 8-unit path
+        outputs = sim.run_cycle((ONE,), period=3)
+        assert outputs[0] == X  # q latched the not-yet-arrived (X) value
+
+    def test_vector_width_checked(self):
+        sim = EventSimulator(glitch_circuit())
+        with pytest.raises(ValueError):
+            sim.run_cycle((ONE, ZERO), period=10)

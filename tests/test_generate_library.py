@@ -1,0 +1,125 @@
+"""Synthetic benchmark generation and the circuit library."""
+
+import pytest
+
+from repro.circuit.bench import write_bench, parse_bench
+from repro.circuit.generate import CircuitProfile, generate_circuit
+from repro.circuit.library import (
+    ISCAS89_PROFILES,
+    TABLE3_CIRCUITS,
+    available_circuits,
+    load,
+)
+from repro.circuit.stats import circuit_stats
+from repro.logic.tables import GateType
+
+
+class TestGenerator:
+    def test_deterministic_across_calls(self):
+        profile = CircuitProfile("det", 5, 3, 4, 40)
+        first = generate_circuit(profile)
+        second = generate_circuit(profile)
+        assert write_bench(first) == write_bench(second)
+
+    def test_seed_changes_circuit(self):
+        base = CircuitProfile("det", 5, 3, 4, 40, seed=1)
+        other = CircuitProfile("det", 5, 3, 4, 40, seed=2)
+        assert write_bench(generate_circuit(base)) != write_bench(
+            generate_circuit(other)
+        )
+
+    def test_profile_counts_respected(self):
+        profile = CircuitProfile("counts", 6, 4, 5, 60)
+        circuit = generate_circuit(profile)
+        assert len(circuit.inputs) == 6
+        assert len(circuit.outputs) == 4
+        assert len(circuit.dffs) == 5
+        # NAND state mixers add a few gates beyond the budget.
+        assert 60 <= circuit.num_combinational <= 60 + 5
+
+    def test_depth_is_realistic(self):
+        circuit = generate_circuit(CircuitProfile("depth", 5, 4, 6, 150))
+        assert 4 <= circuit.num_levels <= 30
+
+    def test_scaled_profile(self):
+        profile = CircuitProfile("big", 30, 20, 100, 2000)
+        small = profile.scaled(0.1)
+        assert small.num_gates == 200
+        assert small.num_dffs == 10
+        assert profile.scaled(1.0) is profile
+
+    def test_scaled_floors(self):
+        profile = CircuitProfile("tiny", 3, 2, 2, 20)
+        small = profile.scaled(0.01)
+        assert small.num_inputs >= 2
+        assert small.num_outputs >= 1
+        assert small.num_gates >= 8
+
+    def test_combinational_circuit_possible(self):
+        profile = CircuitProfile("comb", 4, 2, 0, 20)
+        circuit = generate_circuit(profile)
+        assert not circuit.dffs
+
+    def test_initializes_from_power_up(self):
+        # The flip-flop mixers must pull the state out of all-X.
+        from repro.logic.values import X
+        from repro.patterns.random_gen import random_sequence
+        from repro.sim.logicsim import LogicSimulator
+
+        circuit = load("s298")
+        sim = LogicSimulator(circuit)
+        for vector in random_sequence(circuit, 50, seed=1):
+            sim.step(vector)
+        assert all(sim.values[index] != X for index in circuit.dffs)
+
+
+class TestLibrary:
+    def test_s27_is_real(self):
+        circuit = load("s27")
+        stats = circuit_stats(circuit)
+        assert (stats.num_inputs, stats.num_outputs, stats.num_dffs) == (4, 1, 3)
+        assert stats.num_gates == 10
+
+    def test_profiles_cover_paper_tables(self):
+        for name in TABLE3_CIRCUITS:
+            assert name in ISCAS89_PROFILES
+
+    def test_load_synthetic_matches_profile(self):
+        circuit = load("s344")
+        profile = ISCAS89_PROFILES["s344"]
+        assert len(circuit.inputs) == profile.num_inputs
+        assert len(circuit.dffs) == profile.num_dffs
+
+    def test_load_scaled(self):
+        full = load("s5378")
+        small = load("s5378", scale=0.1)
+        assert small.num_combinational < full.num_combinational / 5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load("s99999")
+
+    def test_available_circuits_sorted_small_first(self):
+        names = available_circuits()
+        assert names[0] == "s27"
+        sizes = [ISCAS89_PROFILES[name].num_gates for name in names[1:]]
+        assert sizes == sorted(sizes)
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "file.bench"
+        path.write_text("INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n")
+        circuit = load(str(path))
+        assert circuit.name == "file"
+
+
+class TestStats:
+    def test_row_formatting(self):
+        stats = circuit_stats(load("s27"))
+        row = stats.row()
+        assert "s27" in row
+
+    def test_line_count_includes_pins(self):
+        circuit = load("s27")
+        stats = circuit_stats(circuit)
+        pins = sum(g.arity for g in circuit.gates if g.gtype is not GateType.INPUT)
+        assert stats.num_lines == len(circuit.gates) + pins

@@ -1,0 +1,109 @@
+"""Harness: runners, engine comparison consistency, table drivers."""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.harness.runner import (
+    ENGINE_NAMES,
+    compare_engines,
+    run_stuck_at,
+    run_transition,
+    workload_circuit,
+    workload_tests,
+)
+from repro.harness import tables
+from repro.patterns.random_gen import random_sequence
+
+
+class TestRunner:
+    def test_every_engine_runs(self, s27):
+        tests = random_sequence(s27, 15, seed=3)
+        for engine in ENGINE_NAMES:
+            result = run_stuck_at(s27, tests, engine)
+            assert result.num_vectors == 15
+
+    def test_unknown_engine_rejected(self, s27):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_stuck_at(s27, random_sequence(s27, 2, seed=1), "magic")
+
+    def test_compare_engines_consistent(self, s27):
+        tests = random_sequence(s27, 20, seed=3)
+        results = compare_engines(s27, tests)
+        assert len({r.num_detected for r in results}) == 1
+
+    def test_transition_runner(self, s27):
+        tests = random_sequence(s27, 10, seed=3)
+        concurrent = run_transition(s27, tests)
+        serial = run_transition(s27, tests, serial=True)
+        assert concurrent.detected == serial.detected
+
+    def test_workload_caching(self):
+        first = workload_circuit("s298", 0.2)
+        second = workload_circuit("s298", 0.2)
+        assert first is second
+        t1 = workload_tests("s298", 0.2, "deterministic")
+        t2 = workload_tests("s298", 0.2, "deterministic")
+        assert t1.vectors == t2.vectors
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "count"],
+            [("alpha", 1), ("b", 123456)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "alpha" in lines[3]
+        # Integers are right-aligned: both rows end at the same column.
+        assert lines[3].rstrip().endswith("1")
+        assert lines[4].rstrip().endswith("123456")
+        assert len(lines[3].rstrip()) == len(lines[4].rstrip())
+
+    def test_format_table_floats(self):
+        text = format_table(["v"], [(0.1234,), (12.3456,), (1234.5,)])
+        assert "0.123" in text
+        assert "12.35" in text
+        assert "1235" in text or "1234" in text
+
+    def test_accepts_generators(self):
+        text = format_table(["a"], ((str(i),) for i in range(3)))
+        assert "2" in text
+
+
+class TestTableDrivers:
+    """Each table driver runs end-to-end on a tiny scaled workload."""
+
+    SCALE = 0.12
+
+    def test_table2(self):
+        rows, text = tables.table2(("s298",), scale=self.SCALE)
+        assert rows[0]["circuit"] == "s298"
+        assert rows[0]["faults"] > 0
+        assert "Table 2" in text
+
+    def test_table3_shapes(self):
+        rows, text = tables.table3(("s298",), scale=self.SCALE)
+        row = rows[0]
+        assert row["csim_cpu"] > 0
+        assert row["csim-MV_mem"] > 0
+        assert "PROOFS" in text
+
+    def test_table4(self):
+        rows, text = tables.table4(("s298",), scale=self.SCALE)
+        assert rows[0]["coverage"] >= 0
+        assert "Table 4" in text
+
+    def test_table5_pattern_sweep(self):
+        rows, text = tables.table5(scale=0.01, pattern_counts=(20, 40))
+        assert [row["patterns"] for row in rows] == [20, 40]
+        assert "Table 5" in text
+
+    def test_table6(self):
+        rows, text = tables.table6(("s298",), scale=self.SCALE)
+        row = rows[0]
+        assert row["faults"] > 0
+        assert 0 <= row["coverage"] <= 100
+        assert "Table 6" in text

@@ -1,0 +1,249 @@
+"""Hierarchical netlists, flattening, and instance-boundary macros."""
+
+import random
+
+import pytest
+
+from repro.baselines.serial import simulate_serial
+from repro.circuit.hierarchy import HierarchicalBuilder, Module
+from repro.circuit.macro import extract_macros
+from repro.circuit.netlist import CircuitBuilder, NetlistError
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM_V, SimOptions
+from repro.faults.universe import stuck_at_universe
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, ZERO
+from repro.patterns.random_gen import random_sequence
+from repro.sim.logicsim import LogicSimulator
+
+
+def mux2_module():
+    """2:1 MUX — reconvergent (select fans out), single output."""
+    builder = CircuitBuilder("mux2")
+    for name in ("a", "b", "sel"):
+        builder.add_input(name)
+    builder.add_gate("nsel", GateType.NOT, ["sel"])
+    builder.add_gate("pa", GateType.AND, ["a", "nsel"])
+    builder.add_gate("pb", GateType.AND, ["b", "sel"])
+    builder.add_gate("y", GateType.OR, ["pa", "pb"])
+    builder.set_output("y")
+    return Module("mux2", builder.build())
+
+
+def carry_module():
+    """Full-adder carry: maj(a, b, c) — also reconvergent."""
+    builder = CircuitBuilder("carry")
+    for name in ("a", "b", "c"):
+        builder.add_input(name)
+    builder.add_gate("ab", GateType.AND, ["a", "b"])
+    builder.add_gate("bc", GateType.AND, ["b", "c"])
+    builder.add_gate("ca", GateType.AND, ["c", "a"])
+    builder.add_gate("cout", GateType.OR, ["ab", "bc", "ca"])
+    builder.set_output("cout")
+    return Module("carry", builder.build())
+
+
+def two_output_module():
+    builder = CircuitBuilder("pair")
+    builder.add_input("a")
+    builder.add_gate("x", GateType.NOT, ["a"])
+    builder.add_gate("y", GateType.BUF, ["a"])
+    builder.set_output("x")
+    builder.set_output("y")
+    return Module("pair", builder.build())
+
+
+def build_selector():
+    """Two MUXes and a carry over four inputs plus a state bit."""
+    top = HierarchicalBuilder("selector")
+    for name in ("i0", "i1", "i2", "i3", "sel"):
+        top.add_input(name)
+    top.add_instance("m0", mux2_module(), {"a": "i0", "b": "i1", "sel": "sel"})
+    top.add_instance("m1", mux2_module(), {"a": "i2", "b": "i3", "sel": "sel"})
+    top.add_instance("cy", carry_module(), {"a": "m0", "b": "m1", "c": "q"})
+    top.add_dff("q", "cy")
+    top.set_output("cy")
+    top.set_output("m1")
+    return top.build()
+
+
+class TestFlattening:
+    def test_structure(self):
+        hierarchy = build_selector()
+        flat = hierarchy.flat
+        assert flat.has_gate("m0/y")
+        assert flat.has_gate("cy/cout")
+        assert len(flat.dffs) == 1
+        # MUX: 4 gates × 2 instances + carry: 4 gates = 12 combinational.
+        assert flat.num_combinational == 12
+
+    def test_flat_behaviour_matches_manual(self):
+        """The flattened selector equals a hand-built equivalent."""
+        hierarchy = build_selector()
+        manual = CircuitBuilder("manual")
+        for name in ("i0", "i1", "i2", "i3", "sel"):
+            manual.add_input(name)
+        manual.add_gate("nsel", GateType.NOT, ["sel"])
+        manual.add_gate("m0", GateType.OR, ["m0a", "m0b"])
+        manual.add_gate("m0a", GateType.AND, ["i0", "nsel"])
+        manual.add_gate("m0b", GateType.AND, ["i1", "sel"])
+        manual.add_gate("nsel2", GateType.NOT, ["sel"])
+        manual.add_gate("m1", GateType.OR, ["m1a", "m1b"])
+        manual.add_gate("m1a", GateType.AND, ["i2", "nsel2"])
+        manual.add_gate("m1b", GateType.AND, ["i3", "sel"])
+        manual.add_gate("ab", GateType.AND, ["m0", "m1"])
+        manual.add_gate("bc", GateType.AND, ["m1", "q"])
+        manual.add_gate("ca", GateType.AND, ["q", "m0"])
+        manual.add_gate("cy", GateType.OR, ["ab", "bc", "ca"])
+        manual.add_dff("q", "cy")
+        manual.set_output("cy")
+        manual.set_output("m1")
+        reference = manual.build()
+
+        flat_sim = LogicSimulator(hierarchy.flat)
+        manual_sim = LogicSimulator(reference)
+        for vector in random_sequence(reference, 30, seed=4):
+            assert flat_sim.step(vector) == manual_sim.step(vector)
+
+    def test_single_output_shorthand(self):
+        hierarchy = build_selector()
+        # 'm0' resolved to 'm0/y' when wiring the carry.
+        carry_gate = hierarchy.flat.gate("cy/ab")
+        sources = {hierarchy.flat.gates[i].name for i in carry_gate.fanin}
+        assert "m0/y" in sources
+
+    def test_dotted_reference(self):
+        top = HierarchicalBuilder("dots")
+        top.add_input("a")
+        top.add_instance("p", two_output_module(), {"a": "a"})
+        top.add_gate("g", GateType.AND, ["p.x", "p.y"])
+        top.set_output("g")
+        circuit = top.build().flat
+        assert circuit.has_gate("p/x")
+
+    def test_multi_output_requires_dot(self):
+        top = HierarchicalBuilder("bad")
+        top.add_input("a")
+        top.add_instance("p", two_output_module(), {"a": "a"})
+        with pytest.raises(NetlistError, match="use 'p"):
+            top.add_gate("g", GateType.BUF, ["p"])
+
+    def test_unbound_port_rejected(self):
+        top = HierarchicalBuilder("bad")
+        top.add_input("a")
+        with pytest.raises(NetlistError, match="unbound ports"):
+            top.add_instance("m", mux2_module(), {"a": "a"})
+
+    def test_unknown_port_rejected(self):
+        top = HierarchicalBuilder("bad")
+        top.add_input("a")
+        with pytest.raises(NetlistError, match="unknown ports"):
+            top.add_instance(
+                "m",
+                mux2_module(),
+                {"a": "a", "b": "a", "sel": "a", "zz": "a"},
+            )
+
+    def test_duplicate_instance_rejected(self):
+        top = HierarchicalBuilder("bad")
+        top.add_input("a")
+        top.add_instance("m", mux2_module(), {"a": "a", "b": "a", "sel": "a"})
+        with pytest.raises(NetlistError, match="defined twice"):
+            top.add_instance("m", mux2_module(), {"a": "a", "b": "a", "sel": "a"})
+
+
+class TestInstanceRegions:
+    def test_eligible_instances_become_regions(self):
+        hierarchy = build_selector()
+        regions = hierarchy.instance_regions()
+        # m0 feeds only the carry -> region; m1 is also a primary output
+        # but that's its ROOT being observed, which is fine; cy -> region.
+        roots = {hierarchy.flat.gates[r.root].name for r in regions}
+        assert roots == {"m0/y", "m1/y", "cy/cout"}
+
+    def test_region_pins_are_deduplicated(self):
+        hierarchy = build_selector()
+        regions = {
+            hierarchy.flat.gates[r.root].name: r
+            for r in hierarchy.instance_regions()
+        }
+        mux_region = regions["m0/y"]
+        # MUX external sources: i0, i1, sel — sel once despite two loads.
+        assert len(mux_region.pins) == 3
+
+    def test_sequential_module_skipped(self):
+        builder = CircuitBuilder("reg")
+        builder.add_input("d")
+        builder.add_dff("q", "d")
+        builder.add_gate("y", GateType.BUF, ["q"])
+        builder.set_output("y")
+        register = Module("reg", builder.build())
+        top = HierarchicalBuilder("t")
+        top.add_input("d")
+        top.add_instance("r", register, {"d": "d"})
+        top.set_output("r")
+        hierarchy = top.build()
+        assert hierarchy.instance_regions() == []
+
+    def test_macro_extraction_uses_instance_regions(self):
+        hierarchy = build_selector()
+        regions = hierarchy.instance_regions()
+        macro = extract_macros(hierarchy.flat, max_inputs=4, preassigned=regions)
+        for region in regions:
+            root_name = hierarchy.flat.gates[region.root].name
+            gate = macro.circuit.gate(root_name)
+            assert gate.gtype is GateType.MACRO
+            assert set(gate.macro_gates) >= {
+                hierarchy.flat.gates[i].name for i in region.internal
+            }
+
+    def test_instance_macros_capture_reconvergence(self):
+        """The whole point: a MUX (reconvergent select) becomes ONE macro;
+        plain fanout-free growth must split it."""
+        hierarchy = build_selector()
+        flat = hierarchy.flat
+        with_hierarchy = extract_macros(
+            flat, max_inputs=4, preassigned=hierarchy.instance_regions()
+        )
+        without = extract_macros(flat, max_inputs=4)
+        assert len(with_hierarchy.regions) < len(without.regions)
+
+
+class TestHierarchicalSimulation:
+    def test_macro_engine_matches_serial(self):
+        hierarchy = build_selector()
+        flat = hierarchy.flat
+        faults = stuck_at_universe(flat)
+        tests = random_sequence(flat, 40, seed=9)
+        oracle = simulate_serial(flat, tests.vectors, faults)
+        macro = extract_macros(
+            flat, max_inputs=4, preassigned=hierarchy.instance_regions()
+        )
+        result = ConcurrentFaultSimulator(
+            flat, faults, SimOptions(split_lists=True), macro=macro
+        ).run(tests)
+        assert result.detected == oracle.detected
+
+    def test_hierarchical_macros_do_less_work(self):
+        hierarchy = build_selector()
+        flat = hierarchy.flat
+        tests = random_sequence(flat, 60, seed=9)
+        macro = extract_macros(
+            flat, max_inputs=4, preassigned=hierarchy.instance_regions()
+        )
+        hierarchical = ConcurrentFaultSimulator(
+            flat, None, SimOptions(split_lists=True), macro=macro
+        ).run(tests)
+        plain = ConcurrentFaultSimulator(flat, None, CSIM_V).run(tests)
+        assert hierarchical.detected == plain.detected
+        assert (
+            hierarchical.counters.good_evaluations
+            <= plain.counters.good_evaluations
+        )
+
+    def test_wrong_circuit_rejected(self):
+        hierarchy = build_selector()
+        other = build_selector()
+        macro = extract_macros(hierarchy.flat, preassigned=hierarchy.instance_regions())
+        with pytest.raises(ValueError, match="different circuit"):
+            ConcurrentFaultSimulator(other.flat, macro=macro)

@@ -1,0 +1,72 @@
+"""Levelization properties and combinational-cycle detection."""
+
+import random
+
+import pytest
+
+from repro.circuit.generate import random_circuit
+from repro.circuit.levelize import LevelizationError, levelize
+from repro.circuit.netlist import Circuit, CircuitBuilder, Gate
+from repro.logic.tables import GateType
+
+
+class TestLevels:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_levels_respect_fanin(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, num_gates=25, num_dffs=3)
+        for gate in circuit.gates:
+            if gate.gtype in (GateType.INPUT, GateType.DFF):
+                assert gate.level == 0
+            else:
+                assert gate.level >= 1
+                for source in gate.fanin:
+                    assert circuit.gates[source].level < gate.level
+
+    def test_order_is_level_sorted_and_complete(self):
+        rng = random.Random(11)
+        circuit = random_circuit(rng, num_gates=30, num_dffs=2)
+        levels = [circuit.gates[index].level for index in circuit.order]
+        assert levels == sorted(levels)
+        combinational = {
+            gate.index
+            for gate in circuit.gates
+            if gate.gtype not in (GateType.INPUT, GateType.DFF)
+        }
+        assert set(circuit.order) == combinational
+
+    def test_num_levels(self):
+        builder = CircuitBuilder("chain")
+        builder.add_input("a")
+        previous = "a"
+        for index in range(5):
+            builder.add_gate(f"n{index}", GateType.NOT, [previous])
+            previous = f"n{index}"
+        builder.set_output(previous)
+        circuit = builder.build()
+        assert circuit.num_levels == 5
+
+    def test_dff_breaks_cycle(self):
+        # q feeds g, g feeds q's D input: sequential loop, fine.
+        builder = CircuitBuilder("loop")
+        builder.add_input("a")
+        builder.add_dff("q", "g")
+        builder.add_gate("g", GateType.NAND, ["a", "q"])
+        builder.set_output("g")
+        circuit = builder.build()  # must not raise
+        assert circuit.gate("g").level == 1
+
+    def test_combinational_cycle_detected(self):
+        # Build by hand: g1 -> g2 -> g1 with no flip-flop in between.
+        gates = [
+            Gate(0, "a", GateType.INPUT, ()),
+            Gate(1, "g1", GateType.AND, (0, 2)),
+            Gate(2, "g2", GateType.NOT, (1,)),
+        ]
+        gates[0].fanout = (1,)
+        gates[1].fanout = (2,)
+        gates[2].fanout = (1,)
+        gates[2].is_output = True
+        circuit = Circuit("cyclic", gates, [0], [2], [])
+        with pytest.raises(LevelizationError, match="combinational cycle"):
+            levelize(circuit)

@@ -1,0 +1,109 @@
+"""The reference cycle simulator: known behaviours and fault injection."""
+
+import pytest
+
+from repro.circuit.library import load
+from repro.circuit.netlist import CircuitBuilder
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.sim.logicsim import LogicSimulator
+
+
+def shift_register():
+    """a -> q1 -> q2, observed at q2."""
+    builder = CircuitBuilder("shift")
+    builder.add_input("a")
+    builder.add_gate("buf", GateType.BUF, ["a"])
+    builder.add_dff("q1", "buf")
+    builder.add_gate("mid", GateType.BUF, ["q1"])
+    builder.add_dff("q2", "mid")
+    builder.set_output("q2")
+    return builder.build()
+
+
+class TestGoodMachine:
+    def test_power_up_is_all_x(self):
+        circuit = load("s27")
+        sim = LogicSimulator(circuit)
+        assert all(value == X for value in sim.values)
+
+    def test_shift_register_latency(self):
+        circuit = shift_register()
+        sim = LogicSimulator(circuit)
+        outputs = [sim.step((v,))[0] for v in (ONE, ZERO, ZERO, ONE)]
+        # q2 shows the input delayed by two cycles; first two cycles X.
+        assert outputs == [X, X, ONE, ZERO]
+
+    def test_reset(self):
+        circuit = shift_register()
+        sim = LogicSimulator(circuit)
+        sim.run([(ONE,), (ONE,)])
+        sim.reset()
+        assert all(value == X for value in sim.values)
+        assert sim.cycle == 0
+
+    def test_vector_width_checked(self):
+        sim = LogicSimulator(load("s27"))
+        with pytest.raises(ValueError):
+            sim.step((ONE,))
+
+    def test_settle_is_idempotent(self):
+        circuit = load("s27")
+        sim = LogicSimulator(circuit)
+        sim.settle((ONE, ZERO, ONE, ZERO))
+        first = list(sim.values)
+        sim.settle((ONE, ZERO, ONE, ZERO))
+        assert sim.values == first
+
+    def test_s27_initializes_under_random_stimulus(self):
+        # s27's PO is G17 = NOT(G11); varied stimulus must pull the state
+        # out of X and produce binary outputs.
+        from repro.patterns.random_gen import random_sequence
+
+        circuit = load("s27")
+        sim = LogicSimulator(circuit)
+        outputs = [sim.step(vector)[0] for vector in random_sequence(circuit, 20, seed=3)]
+        assert any(value in (ZERO, ONE) for value in outputs)
+
+
+class TestFaultInjection:
+    def test_pi_output_stuck(self):
+        circuit = shift_register()
+        pi = circuit.index_of("a")
+        sim = LogicSimulator(circuit, StuckAtFault.make(pi, OUTPUT_PIN, 0))
+        outputs = [sim.step((ONE,))[0] for _ in range(3)]
+        assert outputs[2] == ZERO  # the stuck 0 reaches q2 two cycles later
+
+    def test_gate_input_stuck(self):
+        builder = CircuitBuilder("and2")
+        builder.add_input("a")
+        builder.add_input("b")
+        builder.add_gate("g", GateType.AND, ["a", "b"])
+        builder.set_output("g")
+        circuit = builder.build()
+        g = circuit.index_of("g")
+        sim = LogicSimulator(circuit, StuckAtFault.make(g, 1, 0))
+        assert sim.step((ONE, ONE))[0] == ZERO
+
+    def test_gate_output_stuck(self):
+        circuit = shift_register()
+        buf = circuit.index_of("buf")
+        sim = LogicSimulator(circuit, StuckAtFault.make(buf, OUTPUT_PIN, 1))
+        outputs = [sim.step((ZERO,))[0] for _ in range(3)]
+        assert outputs[2] == ONE
+
+    def test_dff_output_stuck_forces_from_power_up(self):
+        circuit = shift_register()
+        q1 = circuit.index_of("q1")
+        sim = LogicSimulator(circuit, StuckAtFault.make(q1, OUTPUT_PIN, 1))
+        # q2 latches the forced 1 at the end of cycle 1 already.
+        outputs = [sim.step((ZERO,))[0] for _ in range(2)]
+        assert outputs[1] == ONE
+
+    def test_dff_input_stuck_latches_forced_value(self):
+        circuit = shift_register()
+        q1 = circuit.index_of("q1")
+        sim = LogicSimulator(circuit, StuckAtFault.make(q1, 0, 1))
+        outputs = [sim.step((ZERO,))[0] for _ in range(3)]
+        assert outputs[2] == ONE

@@ -1,0 +1,150 @@
+"""Macro extraction: partition invariants, value-exactness, fault tables."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.circuit.macro import extract_macros
+from repro.circuit.netlist import CircuitBuilder
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.faults.universe import all_stuck_at_faults
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, VALUES, ZERO
+from repro.patterns.random_gen import random_sequence
+from repro.sim.logicsim import LogicSimulator
+
+
+class TestPartition:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_combinational_gate_owned_once(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, num_gates=30, num_dffs=3)
+        macro = extract_macros(circuit)
+        combinational = {
+            gate.index
+            for gate in circuit.gates
+            if gate.gtype not in (GateType.INPUT, GateType.DFF)
+        }
+        assert set(macro.owner) == combinational
+        covered = [
+            index for region in macro.regions.values() for index in region.internal
+        ]
+        assert sorted(covered) == sorted(combinational)
+
+    def test_input_cap_respected(self):
+        circuit = load("s27")
+        for cap in (1, 2, 3, 4):
+            macro = extract_macros(circuit, max_inputs=cap)
+            for root, region in macro.regions.items():
+                if root not in macro.plain_roots:
+                    assert len(region.pins) <= cap
+
+    def test_macro_circuit_preserves_interface(self):
+        circuit = load("s27")
+        macro = extract_macros(circuit).circuit
+        assert len(macro.inputs) == len(circuit.inputs)
+        assert len(macro.outputs) == len(circuit.outputs)
+        assert len(macro.dffs) == len(circuit.dffs)
+        assert {circuit.gates[i].name for i in circuit.outputs} == {
+            macro.gates[i].name for i in macro.outputs
+        }
+
+    def test_extraction_reduces_gate_count(self):
+        circuit = load("s344")
+        macro = extract_macros(circuit).circuit
+        assert macro.num_combinational < circuit.num_combinational
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            extract_macros(load("s27"), max_inputs=0)
+
+    def test_summary_mentions_counts(self):
+        text = extract_macros(load("s27")).summary()
+        assert "regions" in text
+
+
+class TestValueExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_macro_circuit_simulates_identically(self, seed):
+        rng = random.Random(seed + 40)
+        circuit = random_circuit(rng, num_gates=25, num_dffs=3)
+        macro = extract_macros(circuit).circuit
+        flat_sim = LogicSimulator(circuit)
+        macro_sim = LogicSimulator(macro)
+        for vector in random_sequence(circuit, 15, seed=seed, x_probability=0.1):
+            assert flat_sim.step(vector) == macro_sim.step(vector)
+
+    def test_exactness_includes_x_semantics(self):
+        # The macro table must reproduce gate-wise X pessimism, not the
+        # (more accurate) function over completions: g = OR(a, NOT(a)) is
+        # X for a=X gate-wise even though every completion yields 1.
+        builder = CircuitBuilder("pess")
+        builder.add_input("a")
+        builder.add_gate("n", GateType.NOT, ["a"])
+        builder.add_gate("g", GateType.OR, ["a", "n"])
+        builder.set_output("g")
+        circuit = builder.build()
+        macro = extract_macros(circuit).circuit
+        sim = LogicSimulator(macro)
+        sim.settle((VALUES[2],))  # X
+        assert sim.values[macro.index_of("g")] == VALUES[2]
+
+
+class TestFaultTranslation:
+    def test_internal_fault_becomes_table(self):
+        builder = CircuitBuilder("tree")
+        for name in "abcd":
+            builder.add_input(name)
+        builder.add_gate("l", GateType.AND, ["a", "b"])
+        builder.add_gate("r", GateType.OR, ["c", "d"])
+        builder.add_gate("g", GateType.NAND, ["l", "r"])
+        builder.set_output("g")
+        circuit = builder.build()
+        macro = extract_macros(circuit, max_inputs=4)
+        fault = StuckAtFault.make(circuit.index_of("l"), OUTPUT_PIN, 0)
+        site, behavior, pin, value, table = macro.translate_stuck_at(fault)
+        assert behavior == "table"
+        assert macro.circuit.gates[site].name == "g"
+        # With l stuck 0, g = NAND(0, r) = 1 for every input combination.
+        good_table = macro.circuit.gates[site].table
+        assert table != good_table
+        for inputs in itertools.product((ZERO, ONE), repeat=4):
+            from repro.logic.tables import pack_inputs
+
+            assert table[pack_inputs(inputs)] == ONE
+
+    def test_pi_fault_stays_structural(self):
+        circuit = load("s27")
+        macro = extract_macros(circuit)
+        pi = circuit.inputs[0]
+        site, behavior, pin, value, table = macro.translate_stuck_at(
+            StuckAtFault.make(pi, OUTPUT_PIN, 1)
+        )
+        assert behavior == "force_output"
+        assert table is None
+        assert macro.circuit.gates[site].gtype is GateType.INPUT
+
+    def test_dff_faults_stay_structural(self):
+        circuit = load("s27")
+        macro = extract_macros(circuit)
+        ff = circuit.dffs[0]
+        site, behavior, pin, value, table = macro.translate_stuck_at(
+            StuckAtFault.make(ff, 0, 0)
+        )
+        assert behavior == "force_input"
+        assert macro.circuit.gates[site].gtype is GateType.DFF
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_fault_translates(self, seed):
+        rng = random.Random(seed + 77)
+        circuit = random_circuit(rng, num_gates=20, num_dffs=2)
+        macro = extract_macros(circuit)
+        for fault in all_stuck_at_faults(circuit):
+            site, behavior, pin, value, table = macro.translate_stuck_at(fault)
+            assert 0 <= site < len(macro.circuit.gates)
+            assert behavior in ("force_output", "force_input", "table")
+            if behavior == "table":
+                assert table is not None

@@ -1,0 +1,162 @@
+"""Unit tests for the netlist model and builder validation."""
+
+import pytest
+
+from repro.circuit.netlist import CircuitBuilder, NetlistError, evaluate_gate
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, X, ZERO
+
+
+def tiny_builder():
+    builder = CircuitBuilder("tiny")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("g", GateType.AND, ["a", "b"])
+    builder.set_output("g")
+    return builder
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        circuit = tiny_builder().build()
+        assert len(circuit.inputs) == 2
+        assert len(circuit.outputs) == 1
+        assert circuit.gate("g").gtype is GateType.AND
+
+    def test_duplicate_signal_rejected(self):
+        builder = tiny_builder()
+        with pytest.raises(NetlistError, match="defined twice"):
+            builder.add_input("a")
+
+    def test_undefined_fanin_rejected(self):
+        builder = CircuitBuilder("bad")
+        builder.add_input("a")
+        builder.add_gate("g", GateType.BUF, ["missing"])
+        builder.set_output("g")
+        with pytest.raises(NetlistError, match="undefined signal"):
+            builder.build()
+
+    def test_no_outputs_rejected(self):
+        builder = CircuitBuilder("noout")
+        builder.add_input("a")
+        builder.add_gate("g", GateType.BUF, ["a"])
+        with pytest.raises(NetlistError, match="no primary outputs"):
+            builder.build()
+
+    def test_undefined_output_rejected(self):
+        builder = tiny_builder()
+        builder.set_output("nope")
+        with pytest.raises(NetlistError, match="not a defined signal"):
+            builder.build()
+
+    def test_not_gate_arity_checked(self):
+        builder = CircuitBuilder("bad")
+        builder.add_input("a")
+        builder.add_input("b")
+        with pytest.raises(NetlistError, match="exactly one fanin"):
+            builder.add_gate("g", GateType.NOT, ["a", "b"])
+
+    def test_empty_fanin_rejected(self):
+        builder = CircuitBuilder("bad")
+        with pytest.raises(NetlistError, match="no fanin"):
+            builder.add_gate("g", GateType.AND, [])
+
+    def test_const_gates_take_no_fanin(self):
+        builder = CircuitBuilder("c")
+        builder.add_input("a")
+        builder.add_gate("k", GateType.CONST1, [])
+        builder.add_gate("g", GateType.AND, ["a", "k"])
+        builder.set_output("g")
+        circuit = builder.build()
+        assert circuit.gate("k").arity == 0
+
+    def test_source_gate_type_rejected_via_add_gate(self):
+        builder = CircuitBuilder("bad")
+        builder.add_input("a")
+        with pytest.raises(NetlistError):
+            builder.add_gate("g", GateType.DFF, ["a"])
+
+    def test_duplicate_output_collapses(self):
+        builder = tiny_builder()
+        builder.set_output("g")  # second time
+        circuit = builder.build()
+        assert len(circuit.outputs) == 1
+
+
+class TestCircuitViews:
+    def test_fanout_computed(self):
+        builder = CircuitBuilder("fan")
+        builder.add_input("a")
+        builder.add_gate("g1", GateType.NOT, ["a"])
+        builder.add_gate("g2", GateType.NOT, ["a"])
+        builder.set_output("g1")
+        builder.set_output("g2")
+        circuit = builder.build()
+        assert set(circuit.gate("a").fanout) == {
+            circuit.index_of("g1"),
+            circuit.index_of("g2"),
+        }
+
+    def test_lookup_by_name(self):
+        circuit = tiny_builder().build()
+        assert circuit.has_gate("g")
+        assert not circuit.has_gate("zz")
+        with pytest.raises(NetlistError):
+            circuit.gate("zz")
+
+    def test_source_indices(self):
+        builder = CircuitBuilder("seq")
+        builder.add_input("a")
+        builder.add_dff("q", "g")
+        builder.add_gate("g", GateType.NOT, ["q"])
+        builder.set_output("g")
+        circuit = builder.build()
+        assert set(circuit.source_indices()) == {
+            circuit.index_of("a"),
+            circuit.index_of("q"),
+        }
+
+    def test_dff_fanin_resolves_forward_reference(self):
+        builder = CircuitBuilder("seq")
+        builder.add_input("a")
+        builder.add_dff("q", "g")  # g defined after
+        builder.add_gate("g", GateType.AND, ["a", "q"])
+        builder.set_output("g")
+        circuit = builder.build()
+        assert circuit.gate("q").fanin == (circuit.index_of("g"),)
+
+    def test_is_output_flags(self):
+        circuit = tiny_builder().build()
+        assert circuit.gate("g").is_output
+        assert not circuit.gate("a").is_output
+
+    def test_len_and_repr(self):
+        circuit = tiny_builder().build()
+        assert len(circuit) == 3
+        assert "tiny" in repr(circuit)
+
+
+class TestEvaluateGate:
+    def test_plain_gate(self):
+        circuit = tiny_builder().build()
+        gate = circuit.gate("g")
+        assert evaluate_gate(gate, [ONE, ONE]) == ONE
+        assert evaluate_gate(gate, [ONE, ZERO]) == ZERO
+        assert evaluate_gate(gate, [ONE, X]) == X
+
+    def test_macro_gate_uses_table(self):
+        from repro.logic.tables import build_table
+
+        builder = CircuitBuilder("m")
+        builder.add_input("a")
+        table = build_table(lambda inputs: inputs[0], 1)
+        builder.add_macro("g", ["a"], table)
+        builder.set_output("g")
+        circuit = builder.build()
+        assert evaluate_gate(circuit.gate("g"), [ONE]) == ONE
+
+    def test_macro_table_size_validated(self):
+        builder = CircuitBuilder("m")
+        builder.add_input("a")
+        with pytest.raises(NetlistError, match="table has wrong size"):
+            builder.add_macro("g", ["a"], (0,) * 3)

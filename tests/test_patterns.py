@@ -1,0 +1,114 @@
+"""Test-pattern substrate: containers, random generation, compaction."""
+
+import pytest
+
+from repro.circuit.library import load
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM_V
+from repro.logic.values import ONE, X, ZERO
+from repro.patterns.atpg import generate_tests
+from repro.patterns.compaction import greedy_compact_tests
+from repro.patterns.random_gen import random_sequence, random_vector
+from repro.patterns.vectors import TestSequence, format_vectors, parse_vectors
+
+
+class TestSequenceContainer:
+    def test_append_and_len(self):
+        seq = TestSequence(2)
+        seq.append((ZERO, ONE))
+        seq.extend([(ONE, ONE), (X, ZERO)])
+        assert len(seq) == 3
+        assert seq[1] == (ONE, ONE)
+
+    def test_width_enforced(self):
+        seq = TestSequence(2)
+        with pytest.raises(ValueError):
+            seq.append((ZERO,))
+        with pytest.raises(ValueError):
+            TestSequence(2, [(ZERO,)])
+
+    def test_prefix(self):
+        seq = TestSequence(1, [(ZERO,), (ONE,), (X,)])
+        assert len(seq.prefix(2)) == 2
+
+    def test_iteration(self):
+        seq = TestSequence(1, [(ZERO,), (ONE,)])
+        assert list(seq) == [(ZERO,), (ONE,)]
+
+
+class TestTextIO:
+    def test_parse(self, s27):
+        seq = parse_vectors("0101\n1xX0  # comment\n\n", s27)
+        assert len(seq) == 2
+        assert seq[1] == (ONE, X, X, ZERO)
+
+    def test_parse_rejects_wrong_width(self, s27):
+        with pytest.raises(ValueError, match="4 inputs"):
+            parse_vectors("01\n", s27)
+
+    def test_roundtrip(self, s27):
+        seq = random_sequence(s27, 10, seed=1, x_probability=0.2)
+        again = parse_vectors(format_vectors(seq), s27)
+        assert again.vectors == seq.vectors
+
+
+class TestRandomGeneration:
+    def test_deterministic(self, s27):
+        assert (
+            random_sequence(s27, 20, seed=5).vectors
+            == random_sequence(s27, 20, seed=5).vectors
+        )
+
+    def test_seed_matters(self, s27):
+        assert (
+            random_sequence(s27, 20, seed=5).vectors
+            != random_sequence(s27, 20, seed=6).vectors
+        )
+
+    def test_x_probability(self):
+        import random as random_module
+
+        rng = random_module.Random(1)
+        values = [random_vector(rng, 100, x_probability=0.5) for _ in range(5)]
+        xs = sum(vector.count(X) for vector in values)
+        assert 100 < xs < 400  # roughly half
+
+    def test_no_x_by_default(self, s27):
+        seq = random_sequence(s27, 50, seed=2)
+        assert all(X not in vector for vector in seq)
+
+
+class TestCompaction:
+    def test_reaches_decent_coverage_on_s27(self, s27):
+        tests, coverage = greedy_compact_tests(s27, seed=5, max_vectors=128)
+        assert coverage > 0.7
+        assert 0 < len(tests) <= 128
+
+    def test_reported_coverage_is_replayable(self, s27):
+        """The returned coverage must match an independent simulation of
+        the returned sequence."""
+        tests, coverage = greedy_compact_tests(s27, seed=5, max_vectors=64)
+        replay = ConcurrentFaultSimulator(s27, options=CSIM_V).run(tests)
+        assert replay.coverage == pytest.approx(coverage)
+
+    def test_target_coverage_stops_early(self, s27):
+        tests, coverage = greedy_compact_tests(
+            s27, seed=5, target_coverage=0.3, max_vectors=256
+        )
+        assert coverage >= 0.3
+
+    def test_deterministic(self, s27):
+        first = greedy_compact_tests(s27, seed=9, max_vectors=32)
+        second = greedy_compact_tests(s27, seed=9, max_vectors=32)
+        assert first[0].vectors == second[0].vectors
+
+
+class TestPresets:
+    def test_unknown_effort_rejected(self, s27):
+        with pytest.raises(ValueError, match="unknown effort"):
+            generate_tests(s27, effort="heroic")
+
+    def test_high_effort_at_least_as_good(self, s27):
+        _, standard = generate_tests(s27, effort="standard", seed=3)
+        _, high = generate_tests(s27, effort="high", seed=3)
+        assert high >= standard - 0.05  # high effort should not be worse

@@ -1,0 +1,131 @@
+"""PODEM test generation and redundancy identification."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.deductive import deductive_detects, simulate_deductive
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.circuit.netlist import CircuitBuilder
+from repro.faults.model import OUTPUT_PIN, StuckAtFault
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
+from repro.logic.tables import GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.patterns.podem import PodemResult, generate_deterministic_tests, podem
+
+
+def _comb(seed, gates=14):
+    rng = random.Random(seed)
+    return random_circuit(rng, num_gates=gates, num_dffs=0, name=f"pod{seed}")
+
+
+def redundant_circuit():
+    """g = OR(a, NOT(a)) is constant 1: its s-a-1 faults are untestable."""
+    builder = CircuitBuilder("red")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("n", GateType.NOT, ["a"])
+    builder.add_gate("k", GateType.OR, ["a", "n"])
+    builder.add_gate("g", GateType.AND, ["k", "b"])
+    builder.set_output("g")
+    return builder.build()
+
+
+class TestPodemSingleFault:
+    def test_sequential_rejected(self):
+        with pytest.raises(ValueError, match="combinational"):
+            podem(load("s27"), StuckAtFault.make(0, OUTPUT_PIN, 0))
+
+    def test_and_gate_fault(self):
+        builder = CircuitBuilder("and2")
+        builder.add_input("a")
+        builder.add_input("b")
+        builder.add_gate("g", GateType.AND, ["a", "b"])
+        builder.set_output("g")
+        circuit = builder.build()
+        g = circuit.index_of("g")
+        result = podem(circuit, StuckAtFault.make(g, 0, 0))
+        assert result.detected
+        # The only test for input-0 s-a-0 of AND is (1, 1).
+        grounded = tuple(ZERO if v == X else v for v in result.vector)
+        assert grounded == (ONE, ONE)
+
+    def test_generated_vector_really_detects(self):
+        """Every PODEM vector must detect its target per the deductive
+        oracle — on many random circuits and faults."""
+        rng = random.Random(5)
+        for seed in range(6):
+            circuit = _comb(seed + 20)
+            faults = all_stuck_at_faults(circuit)
+            for fault in rng.sample(faults, min(12, len(faults))):
+                result = podem(circuit, fault)
+                if result.detected:
+                    vector = tuple(ZERO if v == X else v for v in result.vector)
+                    assert fault in deductive_detects(circuit, vector, [fault])
+
+    def test_redundant_fault_proven(self):
+        circuit = redundant_circuit()
+        k = circuit.index_of("k")
+        result = podem(circuit, StuckAtFault.make(k, OUTPUT_PIN, 1))
+        assert result.redundant
+        assert not result.detected
+
+    def test_redundancy_verdicts_match_exhaustive(self):
+        """On small circuits, PODEM's testable/redundant split must equal
+        exhaustive enumeration of all input vectors."""
+        for seed in range(4):
+            circuit = _comb(seed + 70, gates=10)
+            if len(circuit.inputs) > 5:
+                continue
+            faults = all_stuck_at_faults(circuit)
+            testable = set()
+            for values in itertools.product((ZERO, ONE), repeat=len(circuit.inputs)):
+                testable |= deductive_detects(circuit, values, faults)
+            for fault in faults:
+                result = podem(circuit, fault)
+                assert not result.aborted
+                assert result.detected == (fault in testable), fault
+                assert result.redundant == (fault not in testable), fault
+
+    def test_backtrack_budget_aborts(self):
+        circuit = _comb(3, gates=20)
+        fault = all_stuck_at_faults(circuit)[0]
+        result = podem(circuit, fault, max_backtracks=0)
+        assert result.aborted or result.detected or result.redundant
+
+
+class TestAtpgFlow:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_complete_classification(self, seed):
+        circuit = _comb(seed + 40)
+        faults = stuck_at_universe(circuit)
+        tests, redundant, aborted = generate_deterministic_tests(circuit, faults)
+        assert not aborted
+        result = simulate_deductive(circuit, tests.vectors, faults)
+        detected = set(result.detected)
+        # detected + redundant partition the universe.
+        assert detected | set(redundant) == set(faults)
+        assert not (detected & set(redundant))
+
+    def test_beats_random_coverage(self):
+        circuit = _comb(99, gates=20)
+        faults = stuck_at_universe(circuit)
+        tests, redundant, _ = generate_deterministic_tests(circuit, faults)
+        atpg_result = simulate_deductive(circuit, tests.vectors, faults)
+        from repro.patterns.random_gen import random_sequence
+
+        random_result = simulate_deductive(
+            circuit, random_sequence(circuit, len(tests), seed=4).vectors, faults
+        )
+        assert atpg_result.num_detected >= random_result.num_detected
+
+    def test_redundant_faults_excluded_from_tests(self):
+        circuit = redundant_circuit()
+        faults = all_stuck_at_faults(circuit)
+        tests, redundant, aborted = generate_deterministic_tests(circuit, faults)
+        assert redundant  # the constant-1 cone has untestable faults
+        assert not aborted
+        result = simulate_deductive(circuit, tests.vectors, faults)
+        assert set(result.detected) | set(redundant) == set(faults)

@@ -1,0 +1,59 @@
+"""Result records: coverage arithmetic, memory model, work counters."""
+
+from repro.faults.model import StuckAtFault
+from repro.result import FaultSimResult, MemoryStats, WorkCounters
+
+
+def _fault(index):
+    return StuckAtFault.make(index, -1, 0)
+
+
+class TestCoverage:
+    def test_coverage_fraction(self):
+        result = FaultSimResult("e", "c", num_faults=10, num_vectors=5)
+        result.detected = {_fault(0): 1, _fault(1): 2}
+        assert result.coverage == 0.2
+        assert result.num_detected == 2
+
+    def test_empty_universe(self):
+        result = FaultSimResult("e", "c", num_faults=0, num_vectors=5)
+        assert result.coverage == 0.0
+
+    def test_detection_profile(self):
+        result = FaultSimResult("e", "c", num_faults=5, num_vectors=5)
+        result.detected = {_fault(0): 1, _fault(1): 1, _fault(2): 3}
+        assert result.detection_profile() == {1: 2, 3: 1}
+
+    def test_undetected(self):
+        universe = [_fault(i) for i in range(4)]
+        result = FaultSimResult("e", "c", num_faults=4, num_vectors=1)
+        result.detected = {universe[0]: 1}
+        assert result.undetected(universe) == universe[1:]
+
+    def test_summary_mentions_engine(self):
+        result = FaultSimResult("csim-MV", "s27", num_faults=4, num_vectors=1)
+        assert "csim-MV" in result.summary()
+
+
+class TestMemoryStats:
+    def test_peak_tracking(self):
+        memory = MemoryStats()
+        memory.note_elements(10)
+        memory.note_elements(3)
+        memory.note_elements(7)
+        assert memory.peak_elements == 10
+        assert memory.live_elements == 7
+
+    def test_bytes_model(self):
+        memory = MemoryStats(num_descriptors=100, element_bytes=12, descriptor_bytes=20)
+        memory.note_elements(1000)
+        assert memory.peak_bytes == 1000 * 12 + 100 * 20
+        assert memory.peak_megabytes == memory.peak_bytes / 1_000_000
+
+
+class TestWorkCounters:
+    def test_total_work(self):
+        counters = WorkCounters(
+            good_evaluations=5, fault_evaluations=7, element_visits=11, events=2
+        )
+        assert counters.total_work() == 25

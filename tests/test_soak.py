@@ -1,0 +1,76 @@
+"""Long-horizon consistency: engines stay in lockstep over many cycles.
+
+Short cross-validation sweeps catch most divergence/convergence bugs; this
+soak run guards the slow failure modes — stale elements surviving hundreds
+of cycles of state churn, drift between the dropping and non-dropping
+configurations, memory-counter leaks.
+"""
+
+import pytest
+
+from repro.baselines.proofs import ProofsSimulator
+from repro.circuit.library import load
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import CSIM_MV, CSIM_V
+from repro.faults.universe import stuck_at_universe
+from repro.patterns.random_gen import random_sequence
+
+CYCLES = 1000
+
+
+@pytest.fixture(scope="module")
+def soak():
+    circuit = load("s27")
+    faults = stuck_at_universe(circuit)
+    tests = random_sequence(circuit, CYCLES, seed=123, x_probability=0.05)
+    return circuit, faults, tests
+
+
+def test_engines_agree_over_thousand_cycles(soak):
+    circuit, faults, tests = soak
+    results = [
+        ConcurrentFaultSimulator(circuit, faults, CSIM_V).run(tests),
+        ConcurrentFaultSimulator(circuit, faults, CSIM_MV).run(tests),
+        ConcurrentFaultSimulator(
+            circuit, faults, CSIM_V.with_(drop_detected=False)
+        ).run(tests),
+        ProofsSimulator(circuit, faults).run(tests),
+    ]
+    reference = results[0]
+    for result in results[1:]:
+        assert result.detected == reference.detected, result.engine
+        assert result.potentially_detected == reference.potentially_detected, (
+            result.engine
+        )
+
+
+def test_element_accounting_never_drifts(soak):
+    """The incremental live-element counter must equal the actual list
+    contents after a long run (a leak here silently corrupts the paper's
+    memory tables)."""
+    circuit, faults, tests = soak
+    simulator = ConcurrentFaultSimulator(circuit, faults, CSIM_V)
+    for vector in tests:
+        simulator.step(vector)
+    actual = sum(len(bucket) for bucket in simulator.vis) + sum(
+        len(bucket) for bucket in simulator.invis
+    )
+    assert simulator._live_elements == actual
+
+
+def test_dropping_keeps_lists_clean_long_term(soak):
+    """Hundreds of cycles after detection, no detected fault's elements
+    may linger anywhere (event-driven dropping must reach them all)."""
+    circuit, faults, tests = soak
+    simulator = ConcurrentFaultSimulator(circuit, faults, CSIM_V)
+    for vector in tests:
+        simulator.step(vector)
+    detected_fids = {
+        descriptor.fid
+        for descriptor in simulator.descriptors
+        if descriptor.detected and descriptor.detect_cycle <= CYCLES - 200
+    }
+    live_fids = set()
+    for bucket in simulator.vis + simulator.invis:
+        live_fids.update(bucket)
+    assert not (live_fids & detected_fids)

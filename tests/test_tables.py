@@ -1,0 +1,138 @@
+"""Unit and property tests for gate evaluation and packed lookup tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.tables import (
+    GateType,
+    MAX_TABLE_ARITY,
+    build_table,
+    evaluate,
+    evaluate_packed,
+    inverted_base,
+    pack_inputs,
+    packed_table,
+    unpack_inputs,
+)
+from repro.logic.values import ONE, VALUES, X, ZERO, invert
+
+_EVALUABLE = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestEvaluateSemantics:
+    def test_and_controlling_zero_beats_x(self):
+        assert evaluate(GateType.AND, (ZERO, X)) == ZERO
+        assert evaluate(GateType.AND, (X, ZERO, ONE)) == ZERO
+
+    def test_and_all_ones(self):
+        assert evaluate(GateType.AND, (ONE, ONE, ONE)) == ONE
+
+    def test_and_with_x_and_ones(self):
+        assert evaluate(GateType.AND, (ONE, X)) == X
+
+    def test_or_controlling_one_beats_x(self):
+        assert evaluate(GateType.OR, (ONE, X)) == ONE
+
+    def test_or_all_zeros(self):
+        assert evaluate(GateType.OR, (ZERO, ZERO)) == ZERO
+
+    def test_or_with_x(self):
+        assert evaluate(GateType.OR, (ZERO, X)) == X
+
+    def test_xor_parity(self):
+        assert evaluate(GateType.XOR, (ONE, ZERO, ONE)) == ZERO
+        assert evaluate(GateType.XOR, (ONE, ZERO, ZERO)) == ONE
+
+    def test_xor_any_x_is_x(self):
+        assert evaluate(GateType.XOR, (ONE, X)) == X
+
+    def test_inverting_types_are_complements(self):
+        for base, inverted in [
+            (GateType.AND, GateType.NAND),
+            (GateType.OR, GateType.NOR),
+            (GateType.XOR, GateType.XNOR),
+        ]:
+            for inputs in itertools.product(VALUES, repeat=2):
+                assert evaluate(inverted, inputs) == invert(evaluate(base, inputs))
+
+    def test_not_buf(self):
+        assert evaluate(GateType.NOT, (ZERO,)) == ONE
+        assert evaluate(GateType.BUF, (X,)) == X
+
+    def test_not_rejects_multiple_inputs(self):
+        with pytest.raises(ValueError):
+            evaluate(GateType.NOT, (ZERO, ONE))
+
+    def test_constants(self):
+        assert evaluate(GateType.CONST0, ()) == ZERO
+        assert evaluate(GateType.CONST1, ()) == ONE
+
+    def test_source_types_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate(GateType.INPUT, ())
+        with pytest.raises(ValueError):
+            evaluate(GateType.DFF, (ONE,))
+
+
+class TestPacking:
+    def test_pack_single(self):
+        assert pack_inputs((ONE,)) == 1
+        assert pack_inputs((X,)) == 2
+
+    def test_pack_positional(self):
+        assert pack_inputs((ZERO, ONE)) == 0b0100
+        assert pack_inputs((ONE, ZERO)) == 0b0001
+
+    @given(st.lists(st.sampled_from(VALUES), min_size=0, max_size=MAX_TABLE_ARITY))
+    def test_pack_unpack_roundtrip(self, values):
+        packed = pack_inputs(values)
+        assert unpack_inputs(packed, len(values)) == tuple(values)
+
+
+class TestPackedTables:
+    @pytest.mark.parametrize("gtype", _EVALUABLE)
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_table_matches_evaluate(self, gtype, arity):
+        for inputs in itertools.product(VALUES, repeat=arity):
+            packed = pack_inputs(inputs)
+            assert evaluate_packed(gtype, packed, arity) == evaluate(gtype, inputs)
+
+    def test_tables_are_memoized(self):
+        assert packed_table(GateType.AND, 2) is packed_table(GateType.AND, 2)
+
+    def test_wide_gate_falls_back(self):
+        arity = MAX_TABLE_ARITY + 2
+        inputs = (ONE,) * arity
+        assert evaluate_packed(GateType.AND, pack_inputs(inputs), arity) == ONE
+
+    def test_build_table_size(self):
+        table = build_table(lambda inputs: inputs[0], 2)
+        assert len(table) == 16
+
+    def test_build_table_rejects_excessive_arity(self):
+        with pytest.raises(ValueError):
+            build_table(lambda inputs: ZERO, MAX_TABLE_ARITY + 1)
+
+    def test_illegal_codes_map_to_x(self):
+        table = build_table(lambda inputs: ONE, 1)
+        assert table[0b11] == X
+
+
+class TestInvertedBase:
+    def test_known_pairs(self):
+        assert inverted_base(GateType.NAND) is GateType.AND
+        assert inverted_base(GateType.NOR) is GateType.OR
+        assert inverted_base(GateType.XNOR) is GateType.XOR
+        assert inverted_base(GateType.NOT) is GateType.BUF
+
+    def test_identity_for_others(self):
+        assert inverted_base(GateType.AND) is GateType.AND

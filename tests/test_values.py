@@ -1,0 +1,75 @@
+"""Unit tests for the three-valued logic domain."""
+
+import pytest
+
+from repro.logic.values import (
+    ONE,
+    VALUES,
+    X,
+    ZERO,
+    invert,
+    is_binary,
+    value_from_char,
+    value_to_char,
+)
+
+
+class TestValueCodes:
+    def test_values_are_distinct_small_ints(self):
+        assert sorted(VALUES) == [0, 1, 2]
+
+    def test_codes_fit_two_bits(self):
+        for value in VALUES:
+            assert 0 <= value < 4
+
+    def test_zero_one_are_their_own_codes(self):
+        # The engines rely on ZERO/ONE doubling as arithmetic 0/1.
+        assert ZERO == 0
+        assert ONE == 1
+
+
+class TestIsBinary:
+    def test_binary_values(self):
+        assert is_binary(ZERO)
+        assert is_binary(ONE)
+
+    def test_x_is_not_binary(self):
+        assert not is_binary(X)
+
+
+class TestInvert:
+    def test_invert_zero(self):
+        assert invert(ZERO) == ONE
+
+    def test_invert_one(self):
+        assert invert(ONE) == ZERO
+
+    def test_invert_x(self):
+        assert invert(X) == X
+
+    def test_involution(self):
+        for value in VALUES:
+            assert invert(invert(value)) == value
+
+
+class TestCharConversion:
+    @pytest.mark.parametrize(
+        "char,value",
+        [("0", ZERO), ("1", ONE), ("x", X), ("X", X), ("u", X), ("U", X), ("-", X)],
+    )
+    def test_from_char(self, char, value):
+        assert value_from_char(char) == value
+
+    def test_from_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            value_from_char("2")
+        with pytest.raises(ValueError):
+            value_from_char("")
+
+    def test_to_char_roundtrip(self):
+        for value in VALUES:
+            assert value_from_char(value_to_char(value)) == value
+
+    def test_to_char_rejects_non_value(self):
+        with pytest.raises(ValueError):
+            value_to_char(3)
