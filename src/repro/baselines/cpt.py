@@ -35,7 +35,7 @@ from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault
 from repro.faults.universe import stuck_at_universe
 from repro.logic.tables import GateType
 from repro.logic.values import ONE, ZERO
-from repro.result import FaultSimResult, WorkCounters
+from repro.result import FaultSimResult, MemoryStats, WorkCounters
 
 #: Controlling input value per gate type (None: no controlling value).
 _CONTROLLING = {
@@ -215,5 +215,6 @@ def simulate_cpt(
         num_vectors=len(vectors),
         detected=detected,
         counters=counters,
+        memory=MemoryStats(num_descriptors=len(fault_list)),
         wall_seconds=time.perf_counter() - start,
     )

@@ -23,7 +23,7 @@ from repro.circuit.netlist import Circuit, evaluate_gate
 from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault
 from repro.faults.universe import stuck_at_universe
 from repro.logic.values import ONE, ZERO
-from repro.result import FaultSimResult, WorkCounters
+from repro.result import FaultSimResult, MemoryStats, WorkCounters
 
 
 def _check_combinational_binary(circuit: Circuit, vector: Sequence[int]) -> None:
@@ -122,5 +122,6 @@ def simulate_deductive(
         num_vectors=len(vectors),
         detected=detected,
         counters=counters,
+        memory=MemoryStats(num_descriptors=len(fault_list)),
         wall_seconds=time.perf_counter() - start,
     )

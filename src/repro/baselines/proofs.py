@@ -35,6 +35,7 @@ from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault
 from repro.faults.universe import stuck_at_universe
 from repro.logic.tables import GateType
 from repro.logic.values import ONE, X, ZERO, is_binary
+from repro.obs.tracer import Tracer
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
 from repro.sim.logicsim import LogicSimulator
 
@@ -47,6 +48,7 @@ class ProofsSimulator:
         circuit: Circuit,
         faults: Optional[Iterable[StuckAtFault]] = None,
         word_size: int = 64,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if any(gate.gtype is GateType.MACRO for gate in circuit.gates):
             raise ValueError("PROOFS runs on flat circuits (no macro gates)")
@@ -55,6 +57,11 @@ class ProofsSimulator:
             sorted(faults) if faults is not None else stuck_at_universe(circuit)
         )
         self.word_size = word_size
+        self.tracer = tracer
+        #: Stable fault ids for trace records (PROOFS has no descriptors).
+        self._fault_ids: Dict[StuckAtFault, int] = {
+            fault: fid for fid, fault in enumerate(self.faults)
+        }
         self.reset()
 
     def reset(self) -> None:
@@ -78,9 +85,17 @@ class ProofsSimulator:
         circuit = self.circuit
         self.cycle += 1
         self.counters.cycles += 1
+        trace = self.tracer
+        if trace is not None:
+            trace.cycle_start(self.cycle)
+            t0 = time.perf_counter()
 
         self.good.settle(vector)
         self.counters.good_evaluations += circuit.num_combinational
+        if trace is not None:
+            trace.good_evals(None, circuit.num_combinational)
+            t1 = time.perf_counter()
+            trace.phase_time("good", t1 - t0)
         good_values = self.good.values
         good_outputs = self.good.sample_outputs()
 
@@ -96,16 +111,24 @@ class ProofsSimulator:
 
         live = sum(len(diffs) for diffs in self.ff_diffs.values())
         self.memory.note_elements(live)
+        if trace is not None:
+            trace.phase_time("groups", time.perf_counter() - t1)
         self.good.clock()
+        if trace is not None:
+            trace.cycle_end(self.cycle, live=live, visible=live, invisible=0)
         return newly
 
     def run(self, vectors: Iterable[Sequence[int]]) -> FaultSimResult:
+        trace = self.tracer
+        if trace is not None:
+            trace.run_start("PROOFS", self.circuit.name)
         start = time.perf_counter()
         applied = 0
         for vector in vectors:
             self.step(vector)
             applied += 1
-        return FaultSimResult(
+        elapsed = time.perf_counter() - start
+        result = FaultSimResult(
             engine="PROOFS",
             circuit_name=self.circuit.name,
             num_faults=len(self.faults),
@@ -114,8 +137,12 @@ class ProofsSimulator:
             potentially_detected=dict(self.potentially_detected),
             counters=self.counters,
             memory=self.memory,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=elapsed,
         )
+        if trace is not None:
+            trace.run_end(elapsed)
+            result.telemetry = trace.telemetry()
+        return result
 
     # ------------------------------------------------------------------
     # activity filter
@@ -149,6 +176,7 @@ class ProofsSimulator:
         gates = circuit.gates
         width = len(group)
         mask = (1 << width) - 1
+        trace = self.tracer
 
         # Signal words, lazily materialized from the good broadcast.
         ones: Dict[int, int] = {}
@@ -187,9 +215,14 @@ class ProofsSimulator:
             if index not in in_queue:
                 in_queue.add(index)
                 queue[gates[index].level].append(index)
+                self.counters.gates_scheduled += 1
+                if trace is not None:
+                    trace.scheduled(index, gates[index].level)
 
         def emit(index: int) -> None:
             self.counters.events += 1
+            if trace is not None:
+                trace.event(index)
             for sink in gates[index].fanout:
                 if gates[sink].gtype is GateType.DFF:
                     dirty_ffs.add(sink)
@@ -298,6 +331,8 @@ class ProofsSimulator:
             for gate_index in queue[level]:
                 in_queue.discard(gate_index)
                 self.counters.fault_evaluations += 1
+                if trace is not None:
+                    trace.fault_evals(gate_index)
                 one_out, x_out = evaluate_word(gate_index)
                 if set_word(gate_index, one_out, x_out):
                     emit(gate_index)
@@ -322,6 +357,8 @@ class ProofsSimulator:
                 fault = group[slot]
                 if fault not in self.potentially_detected:
                     self.potentially_detected[fault] = self.cycle
+                    if trace is not None:
+                        trace.detect(self._fault_ids[fault], self.cycle, potential=True)
             mismatch = (ones[po_index] ^ good_word) & mask & ~unknown
             while mismatch:
                 slot = (mismatch & -mismatch).bit_length() - 1
@@ -330,6 +367,10 @@ class ProofsSimulator:
                 if fault not in self.detected:
                     self.detected[fault] = self.cycle
                     newly.append(fault)
+                    if trace is not None:
+                        # PROOFS always drops: detected faults never regroup.
+                        trace.detect(self._fault_ids[fault], self.cycle)
+                        trace.drop(self._fault_ids[fault], self.cycle)
 
         # Next-state faulty flip-flop diffs from the settled D words.  Only
         # flip-flops whose D cone was touched (or whose D pin is a fault

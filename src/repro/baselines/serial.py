@@ -21,7 +21,7 @@ from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault
 from repro.faults.transition import TransitionFault, all_transition_faults, delayed_value
 from repro.faults.universe import stuck_at_universe
 from repro.logic.values import X, is_binary
-from repro.result import FaultSimResult, WorkCounters
+from repro.result import FaultSimResult, MemoryStats, WorkCounters
 from repro.sim.logicsim import LogicSimulator
 
 
@@ -81,6 +81,9 @@ def simulate_serial(
         detected=detected,
         potentially_detected=potential,
         counters=counters,
+        # Serial simulation stores whole machines, not fault elements; the
+        # descriptor count keeps the memory model comparable across engines.
+        memory=MemoryStats(num_descriptors=len(fault_list)),
         wall_seconds=time.perf_counter() - start,
     )
 
@@ -191,5 +194,6 @@ def simulate_serial_transition(
         detected=detected,
         potentially_detected=potential,
         counters=counters,
+        memory=MemoryStats(num_descriptors=len(fault_list)),
         wall_seconds=time.perf_counter() - start,
     )

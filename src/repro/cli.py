@@ -38,10 +38,53 @@ def _load_tests(args, circuit):
     return random_sequence(circuit, args.random_patterns, seed=args.seed)
 
 
+def _make_tracer(args):
+    """Tracer for the run, or ``None`` when no observability flag is set.
+
+    Per-gate event records are only collected when a trace file will
+    actually receive them; ``--profile`` alone needs just the aggregates.
+    """
+    if not (args.trace or args.profile):
+        return None
+    from repro.obs import RecordingTracer
+
+    return RecordingTracer(record_events=bool(args.trace))
+
+
+def _emit_observability(args, result, circuit, tracer) -> None:
+    if tracer is None:
+        return
+    from repro.obs import profile_report, write_jsonl_trace
+
+    if args.trace:
+        count = write_jsonl_trace(tracer.records, args.trace)
+        print(f"# wrote {count} trace records to {args.trace}", file=sys.stderr)
+    if args.profile:
+        if result.telemetry is None:
+            # The serial oracle has no hook sites, so nothing was recorded.
+            print(f"# engine {result.engine!r} has no telemetry", file=sys.stderr)
+        else:
+            print()
+            print(profile_report(result.telemetry, circuit=circuit))
+
+
 def _add_circuit_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("circuit", help="benchmark name or .bench file path")
     parser.add_argument(
         "--scale", type=float, default=1.0, help="synthetic circuit scale (default 1.0)"
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL event trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a profile report (phase times, hot gates, drop timeline)",
     )
 
 
@@ -83,21 +126,25 @@ def cmd_stats(args) -> int:
 def cmd_simulate(args) -> int:
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
-    result = run_stuck_at(circuit, tests, args.engine)
+    tracer = _make_tracer(args)
+    result = run_stuck_at(circuit, tests, args.engine, tracer=tracer)
     print(result.summary())
     if args.verbose:
         from repro.faults.model import fault_name
 
         for fault, cycle in sorted(result.detected.items(), key=lambda kv: kv[1]):
             print(f"  cycle {cycle:5}: {fault_name(circuit, fault)}")
+    _emit_observability(args, result, circuit, tracer)
     return 0
 
 
 def cmd_transition(args) -> int:
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
-    result = run_transition(circuit, tests)
+    tracer = _make_tracer(args)
+    result = run_transition(circuit, tests, tracer=tracer)
     print(result.summary())
+    _emit_observability(args, result, circuit, tracer)
     return 0
 
 
@@ -147,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--verbose", action="store_true", help="list detections with cycles"
     )
+    _add_obs_args(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     transition = commands.add_parser(
@@ -154,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_circuit_arg(transition)
     _add_test_args(transition)
+    _add_obs_args(transition)
     transition.set_defaults(handler=cmd_transition)
 
     gen = commands.add_parser(

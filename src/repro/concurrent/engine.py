@@ -57,6 +57,7 @@ from repro.logic.tables import (
     unpack_inputs,
 )
 from repro.logic.values import ONE, X, ZERO
+from repro.obs.tracer import Tracer
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
 
 
@@ -73,6 +74,10 @@ class ConcurrentFaultSimulator:
         Stuck-at faults to simulate; defaults to the collapsed universe.
     options:
         Variant selection, see :class:`repro.concurrent.options.SimOptions`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  ``None`` (the default) means
+        no tracing: every hook site is a single local None-check, so an
+        untraced run does no instrumentation work at all.
     """
 
     def __init__(
@@ -81,9 +86,11 @@ class ConcurrentFaultSimulator:
         faults: Optional[Iterable[StuckAtFault]] = None,
         options: SimOptions = SimOptions(),
         macro=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.original_circuit = circuit
         self.options = options
+        self.tracer = tracer
         universe = self._default_universe(circuit) if faults is None else faults
         #: Sorted for deterministic fault ids (and so detection order never
         #: depends on how the caller built the list).
@@ -264,24 +271,41 @@ class ConcurrentFaultSimulator:
         bucket = lists[gate]
         if fid not in bucket:
             self._live_elements += 1
+            trace = self.tracer
+            if trace is not None:
+                trace.diverge(gate, fid, lists is self.vis)
         bucket[fid] = value
 
     def _remove(self, gate: int, fid: int) -> None:
+        removed = False
         if self.vis[gate].pop(fid, None) is not None:
             self._live_elements -= 1
+            removed = True
         if self.invis[gate].pop(fid, None) is not None:
             self._live_elements -= 1
+            removed = True
+        if removed:
+            trace = self.tracer
+            if trace is not None:
+                trace.converge(gate, fid)
 
     def _schedule(self, gate_index: int) -> None:
         if not self._in_queue[gate_index]:
             self._in_queue[gate_index] = True
-            self._queue[self.circuit.gates[gate_index].level].append(gate_index)
+            level = self.circuit.gates[gate_index].level
+            self._queue[level].append(gate_index)
             self.counters.gates_scheduled += 1
+            trace = self.tracer
+            if trace is not None:
+                trace.scheduled(gate_index, level)
 
     def _emit_event(self, gate_index: int) -> None:
         """An event on *gate_index*: schedule combinational fanouts now,
         mark flip-flop fanouts for the boundary update."""
         self.counters.events += 1
+        trace = self.tracer
+        if trace is not None:
+            trace.event(gate_index)
         gates = self.circuit.gates
         for sink in gates[gate_index].fanout:
             if gates[sink].gtype is GateType.DFF:
@@ -302,6 +326,9 @@ class ConcurrentFaultSimulator:
             )
         self.cycle += 1
         self.counters.cycles += 1
+        trace = self.tracer
+        if trace is not None:
+            trace.cycle_start(self.cycle)
 
         if self.cycle == 1:
             # Initialization: evaluate the whole network once so every
@@ -321,14 +348,43 @@ class ConcurrentFaultSimulator:
                 self._schedule(gate_index)
         self._next_cycle_gates = set()
 
+        if trace is None:
+            for position, pi_index in enumerate(circuit.inputs):
+                self._apply_source(pi_index, vector[position])
+            self._settle()
+            self.memory.note_elements(self._live_elements)
+            newly_detected = self._detect()
+            self._clock()
+            self.memory.note_elements(self._live_elements)
+            return newly_detected
+
+        # Traced path: identical work, wrapped in per-phase timers.
+        t0 = time.perf_counter()
         for position, pi_index in enumerate(circuit.inputs):
             self._apply_source(pi_index, vector[position])
-
+        t1 = time.perf_counter()
+        trace.phase_time("apply", t1 - t0)
         self._settle()
+        t2 = time.perf_counter()
+        trace.phase_time("settle", t2 - t1)
         self.memory.note_elements(self._live_elements)
         newly_detected = self._detect()
+        t3 = time.perf_counter()
+        trace.phase_time("detect", t3 - t2)
         self._clock()
+        trace.phase_time("clock", time.perf_counter() - t3)
         self.memory.note_elements(self._live_elements)
+        if trace.enabled:
+            visible = sum(map(len, self.vis))
+            invisible = sum(map(len, self.invis))
+        else:
+            visible = invisible = 0
+        trace.cycle_end(
+            self.cycle,
+            live=self._live_elements,
+            visible=visible,
+            invisible=invisible,
+        )
         return newly_detected
 
     def run(
@@ -341,6 +397,9 @@ class ConcurrentFaultSimulator:
         ``stop_at_coverage`` (fraction) ends the run early once reached —
         useful for test-generation loops.
         """
+        trace = self.tracer
+        if trace is not None:
+            trace.run_start(self.options.variant_name, self.original_circuit.name)
         start = time.perf_counter()
         applied = 0
         for vector in vectors:
@@ -353,7 +412,7 @@ class ConcurrentFaultSimulator:
             ):
                 break
         elapsed = time.perf_counter() - start
-        return FaultSimResult(
+        result = FaultSimResult(
             engine=self.options.variant_name,
             circuit_name=self.original_circuit.name,
             num_faults=len(self.faults),
@@ -364,6 +423,10 @@ class ConcurrentFaultSimulator:
             memory=self.memory,
             wall_seconds=elapsed,
         )
+        if trace is not None:
+            trace.run_end(elapsed)
+            result.telemetry = trace.telemetry()
+        return result
 
     # ------------------------------------------------------------------
     # phases
@@ -376,6 +439,7 @@ class ConcurrentFaultSimulator:
         vis = self.vis[pi_index]
         event = value != old_good
         drop = self.options.drop_detected
+        evals = 0
         for fid in self.local_faults[pi_index]:
             descriptor = self.descriptors[fid]
             if descriptor.detected and drop:
@@ -383,6 +447,7 @@ class ConcurrentFaultSimulator:
                 continue
             forced = descriptor.value
             self.counters.fault_evaluations += 1
+            evals += 1
             before = vis.get(fid, old_good)
             if forced != value:
                 self._store(self.vis, pi_index, fid, forced)
@@ -390,6 +455,10 @@ class ConcurrentFaultSimulator:
                 self._remove(pi_index, fid)
             if before != forced:
                 event = True
+        if evals:
+            trace = self.tracer
+            if trace is not None:
+                trace.fault_evals(pi_index, evals)
         if event:
             self._emit_event(pi_index)
 
@@ -423,6 +492,7 @@ class ConcurrentFaultSimulator:
         """
         descriptors = self.descriptors
         counters = self.counters
+        trace = self.tracer
         drop = self.options.drop_detected
         split = self.options.split_lists
         candidates: Dict[int, bool] = {}
@@ -440,6 +510,8 @@ class ConcurrentFaultSimulator:
             if not bucket:
                 continue
             counters.element_visits += len(bucket)
+            if trace is not None:
+                trace.element_visits(source, len(bucket))
             if drop:
                 for fid in bucket:
                     if descriptors[fid].detected:
@@ -513,6 +585,9 @@ class ConcurrentFaultSimulator:
         old_good = good[gate_index]
         table = self._eval_tables[gate_index]
         self.counters.good_evaluations += 1
+        trace = self.tracer
+        if trace is not None:
+            trace.good_evals(gate_index)
 
         vis = self.vis
         invis_here = self.invis[gate_index]
@@ -530,7 +605,10 @@ class ConcurrentFaultSimulator:
             new_good = table[good_packed]
             good[gate_index] = new_good
 
-            for fid in self._candidates(gate_index, fanin):
+            candidates = self._candidates(gate_index, fanin)
+            if trace is not None and candidates:
+                trace.fault_evals(gate_index, len(candidates))
+            for fid in candidates:
                 counters.fault_evaluations += 1
                 packed = 0
                 shift = 0
@@ -577,7 +655,10 @@ class ConcurrentFaultSimulator:
             good_inputs = [good[source] for source in fanin]
             new_good = self._good_output(gate, good_inputs)
             good[gate_index] = new_good
-            for fid in self._candidates(gate_index, fanin):
+            candidates = self._candidates(gate_index, fanin)
+            if trace is not None and candidates:
+                trace.fault_evals(gate_index, len(candidates))
+            for fid in candidates:
                 descriptor = descriptors[fid]
                 inputs = [vis[source].get(fid, good[source]) for source in fanin]
                 counters.fault_evaluations += 1
@@ -610,11 +691,14 @@ class ConcurrentFaultSimulator:
         newly: List[Fault] = []
         drop = self.options.drop_detected
         counters = self.counters
+        trace = self.tracer
         hard_now: List[int] = []
         potential_now: List[int] = []
         for po_index in self.circuit.outputs:
             good_value = self.good[po_index]
             vis = self.vis[po_index]
+            if trace is not None and vis:
+                trace.element_visits(po_index, len(vis))
             purge: List[int] = []
             for fid, value in vis.items():
                 counters.element_visits += 1
@@ -632,16 +716,21 @@ class ConcurrentFaultSimulator:
             for fid in purge:
                 self._remove(po_index, fid)
             if not self.options.split_lists:
-                counters.element_visits += len(self.invis[po_index])
+                invis_length = len(self.invis[po_index])
+                counters.element_visits += invis_length
+                if trace is not None and invis_length:
+                    trace.element_visits(po_index, invis_length)
         # Hard and potential detections are judged on the full output
         # vector of the cycle; marking happens after the scan so that a
         # hard detection at one output doesn't hide the same cycle's
         # observations at another (the serial oracle sees all outputs at
         # once, and the engines must agree to the cycle).
         for fid in potential_now:
-            self.potentially_detected.setdefault(
-                self.descriptors[fid].fault, self.cycle
-            )
+            fault = self.descriptors[fid].fault
+            if fault not in self.potentially_detected:
+                self.potentially_detected[fault] = self.cycle
+                if trace is not None:
+                    trace.detect(fid, self.cycle, potential=True)
         for fid in hard_now:
             descriptor = self.descriptors[fid]
             if descriptor.detected:
@@ -649,6 +738,10 @@ class ConcurrentFaultSimulator:
             descriptor.mark_detected(self.cycle)
             self.detected[descriptor.fault] = self.cycle
             newly.append(descriptor.fault)
+            if trace is not None:
+                trace.detect(fid, self.cycle)
+                if drop:
+                    trace.drop(fid, self.cycle)
         return newly
 
     def _clock(self) -> None:
@@ -672,6 +765,7 @@ class ConcurrentFaultSimulator:
         drop = self.options.drop_detected
         split = self.options.split_lists
         good = self.good
+        trace = self.tracer
         pending: List[Tuple[int, int, List[Tuple[int, int, bool]], bool]] = []
 
         for ff_index in self._dirty_ffs:
@@ -684,6 +778,8 @@ class ConcurrentFaultSimulator:
             purge: List[Tuple[int, int]] = []
 
             def scan(source: int, bucket: Dict[int, int]) -> None:
+                if trace is not None and bucket:
+                    trace.element_visits(source, len(bucket))
                 for fid in bucket:
                     self.counters.element_visits += 1
                     if drop and descriptors[fid].detected:
@@ -704,6 +800,8 @@ class ConcurrentFaultSimulator:
 
             updates: List[Tuple[int, int, bool]] = []
             event = new_q != old_q
+            if trace is not None and candidates:
+                trace.fault_evals(ff_index, len(candidates))
             for fid in candidates:
                 descriptor = descriptors[fid]
                 q_fault = self.vis[d_source].get(fid, new_q)
@@ -744,6 +842,9 @@ class ConcurrentFaultSimulator:
                     self._remove(ff_index, fid)
             if event:
                 self.counters.events += 1
+                trace = self.tracer
+                if trace is not None:
+                    trace.event(ff_index)
                 for sink in circuit.gates[ff_index].fanout:
                     if circuit.gates[sink].gtype is GateType.DFF:
                         self._dirty_ffs.add(sink)

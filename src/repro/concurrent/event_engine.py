@@ -44,6 +44,7 @@ from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault
 from repro.faults.universe import stuck_at_universe
 from repro.logic.tables import GateType
 from repro.logic.values import X
+from repro.obs.tracer import Tracer
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
 from repro.sim.delays import DelayModel, unit_delays
 
@@ -60,6 +61,7 @@ class ConcurrentEventFaultSimulator:
         faults: Optional[Iterable[StuckAtFault]] = None,
         delays: Optional[DelayModel] = None,
         options: SimOptions = SimOptions(),
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if options.use_macros:
             raise ValueError(
@@ -67,6 +69,7 @@ class ConcurrentEventFaultSimulator:
                 "engine runs on the flat circuit"
             )
         self.circuit = circuit
+        self.tracer = tracer
         self.delays = delays or unit_delays(circuit)
         self.options = options
         universe = stuck_at_universe(circuit) if faults is None else faults
@@ -153,9 +156,12 @@ class ConcurrentEventFaultSimulator:
         descriptors = self.descriptors
         drop = self.options.drop_detected
         counters = self.counters
+        trace = self.tracer
         candidates: Dict[int, bool] = {}
         purge: List[Tuple[int, int]] = []
         for source in list(fanin) + [gate_index]:
+            if trace is not None and self.vis[source]:
+                trace.element_visits(source, len(self.vis[source]))
             for fid in self.vis[source]:
                 counters.element_visits += 1
                 if drop and descriptors[fid].detected:
@@ -169,6 +175,8 @@ class ConcurrentEventFaultSimulator:
         for source, fid in purge:
             if self.vis[source].pop(fid, None) is not None:
                 self._live -= 1
+                if trace is not None:
+                    trace.converge(source, fid)
         return candidates
 
     def _evaluate_machine(self, descriptor, gate, gate_index: int) -> int:
@@ -196,8 +204,11 @@ class ConcurrentEventFaultSimulator:
         """
         gate = self.circuit.gates[gate_index]
         due = self.time + self.delays.delay(gate_index)
+        trace = self.tracer
         if GOOD in machines:
             self.counters.good_evaluations += 1
+            if trace is not None:
+                trace.good_evals(gate_index)
             good_inputs = [self.good[source] for source in gate.fanin]
             new_good = evaluate_gate(gate, good_inputs)
             self._post(due, gate_index, GOOD, new_good)
@@ -209,6 +220,8 @@ class ConcurrentEventFaultSimulator:
                 self.options.drop_detected and self.descriptors[fid].detected
             ):
                 fault_ids[fid] = True
+        if trace is not None and fault_ids:
+            trace.fault_evals(gate_index, len(fault_ids))
         for fid in fault_ids:
             descriptor = self.descriptors[fid]
             self.counters.fault_evaluations += 1
@@ -223,6 +236,7 @@ class ConcurrentEventFaultSimulator:
         circuit = self.circuit
         gates = circuit.gates
         drop = self.options.drop_detected
+        trace = self.tracer
         while self._times and self._times[0] <= until:
             now = heapq.heappop(self._times)
             events = self._bucket.pop(now)
@@ -245,6 +259,8 @@ class ConcurrentEventFaultSimulator:
                 if machine != GOOD:
                     continue
                 self.counters.events += 1
+                if trace is not None:
+                    trace.event(gate_index)
                 if self.good[gate_index] == value:
                     continue
                 self.good[gate_index] = value
@@ -260,16 +276,22 @@ class ConcurrentEventFaultSimulator:
                 ]:
                     del bucket[fid]
                     self._live -= 1
+                    if trace is not None:
+                        trace.converge(gate_index, fid)
                 activate(gate_index, GOOD)
 
             for gate_index, machine, value in events:
                 if machine == GOOD:
                     continue
                 self.counters.events += 1
+                if trace is not None:
+                    trace.event(gate_index)
                 descriptor = self.descriptors[machine]
                 if drop and descriptor.detected:
                     if self.vis[gate_index].pop(machine, None) is not None:
                         self._live -= 1
+                        if trace is not None:
+                            trace.converge(gate_index, machine)
                     continue
                 bucket = self.vis[gate_index]
                 before = bucket.get(machine, self.good[gate_index])
@@ -279,17 +301,24 @@ class ConcurrentEventFaultSimulator:
                 ):
                     if bucket.pop(machine, None) is not None:
                         self._live -= 1
+                        if trace is not None:
+                            trace.converge(gate_index, machine)
                 else:
                     # Stored even when equal to good for site-anchored
                     # machines: the forcing persists and the dedup will
                     # (correctly) never re-post the constant value.
                     if machine not in bucket:
                         self._live += 1
+                        if trace is not None:
+                            trace.diverge(gate_index, machine)
                     bucket[machine] = value
                 if before != value:
                     activate(gate_index, machine)
 
             for gate_index, machines in activated.items():
+                self.counters.gates_scheduled += 1
+                if trace is not None:
+                    trace.scheduled(gate_index, gates[gate_index].level)
                 self._evaluate(gate_index, machines)
         self.time = until
 
@@ -327,10 +356,13 @@ class ConcurrentEventFaultSimulator:
         """Sample the primary outputs: hard and potential detections."""
         newly: List[Fault] = []
         hard: List[int] = []
+        trace = self.tracer
         for po_index in self.circuit.outputs:
             good_value = self.good[po_index]
             if good_value == X:
                 continue
+            if trace is not None and self.vis[po_index]:
+                trace.element_visits(po_index, len(self.vis[po_index]))
             for fid, value in self.vis[po_index].items():
                 self.counters.element_visits += 1
                 if value == good_value:
@@ -339,7 +371,10 @@ class ConcurrentEventFaultSimulator:
                 if descriptor.detected:
                     continue
                 if value == X:
-                    self.potentially_detected.setdefault(descriptor.fault, self.cycle)
+                    if descriptor.fault not in self.potentially_detected:
+                        self.potentially_detected[descriptor.fault] = self.cycle
+                        if trace is not None:
+                            trace.detect(fid, self.cycle, potential=True)
                 else:
                     hard.append(fid)
         for fid in hard:
@@ -349,6 +384,10 @@ class ConcurrentEventFaultSimulator:
             descriptor.mark_detected(self.cycle)
             self.detected[descriptor.fault] = self.cycle
             newly.append(descriptor.fault)
+            if trace is not None:
+                trace.detect(fid, self.cycle)
+                if self.options.drop_detected:
+                    trace.drop(fid, self.cycle)
         return newly
 
     def _latch(self) -> None:
@@ -357,6 +396,7 @@ class ConcurrentEventFaultSimulator:
         boundary."""
         circuit = self.circuit
         drop = self.options.drop_detected
+        trace = self.tracer
         posts: List[Tuple[int, int, int]] = []
         for ff_index in circuit.dffs:
             gate = circuit.gates[ff_index]
@@ -370,15 +410,19 @@ class ConcurrentEventFaultSimulator:
                 candidates[fid] = True
             for fid in self.local_faults[ff_index]:
                 candidates[fid] = True
+            evals = 0
             for fid in candidates:
                 descriptor = self.descriptors[fid]
                 if drop and descriptor.detected:
                     continue
                 self.counters.fault_evaluations += 1
+                evals += 1
                 q_fault = self.vis[d_source].get(fid, new_q)
                 if descriptor.site_gate == ff_index:
                     q_fault = descriptor.value
                 posts.append((ff_index, fid, q_fault))
+            if trace is not None and evals:
+                trace.fault_evals(ff_index, evals)
         for ff_index, machine, value in posts:
             self._post(self.time, ff_index, machine, value)
 
@@ -389,21 +433,46 @@ class ConcurrentEventFaultSimulator:
             raise ValueError("vector width mismatch")
         self.cycle += 1
         self.counters.cycles += 1
+        trace = self.tracer
+        if trace is None:
+            self._power_up()
+            self._apply_vector(vector)
+            self._run(until=self.time + period)
+            self.memory.note_elements(self._live)
+            newly = self._strobe()
+            self._latch()
+            return newly
+
+        trace.cycle_start(self.cycle)
+        t0 = time_module.perf_counter()
         self._power_up()
         self._apply_vector(vector)
+        t1 = time_module.perf_counter()
+        trace.phase_time("apply", t1 - t0)
         self._run(until=self.time + period)
+        t2 = time_module.perf_counter()
+        trace.phase_time("settle", t2 - t1)
         self.memory.note_elements(self._live)
         newly = self._strobe()
+        t3 = time_module.perf_counter()
+        trace.phase_time("strobe", t3 - t2)
         self._latch()
+        trace.phase_time("latch", time_module.perf_counter() - t3)
+        visible = sum(map(len, self.vis)) if trace.enabled else 0
+        trace.cycle_end(self.cycle, live=self._live, visible=visible, invisible=0)
         return newly
 
     def run(self, vectors: Sequence[Sequence[int]], period: int) -> FaultSimResult:
+        trace = self.tracer
+        if trace is not None:
+            trace.run_start("csim-AD", self.circuit.name)
         start = time_module.perf_counter()
         applied = 0
         for vector in vectors:
             self.run_cycle(vector, period)
             applied += 1
-        return FaultSimResult(
+        elapsed = time_module.perf_counter() - start
+        result = FaultSimResult(
             engine="csim-AD",
             circuit_name=self.circuit.name,
             num_faults=len(self.faults),
@@ -412,5 +481,9 @@ class ConcurrentEventFaultSimulator:
             potentially_detected=dict(self.potentially_detected),
             counters=self.counters,
             memory=self.memory,
-            wall_seconds=time_module.perf_counter() - start,
+            wall_seconds=elapsed,
         )
+        if trace is not None:
+            trace.run_end(elapsed)
+            result.telemetry = trace.telemetry()
+        return result

@@ -53,6 +53,7 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
         circuit: Circuit,
         faults: Optional[Iterable[TransitionFault]] = None,
         options: SimOptions = SimOptions(),
+        tracer=None,
     ) -> None:
         if options.use_macros:
             raise ValueError(
@@ -60,7 +61,7 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
                 "use a flat-circuit SimOptions"
             )
         self._firing = False
-        super().__init__(circuit, faults, options)
+        super().__init__(circuit, faults, options, tracer=tracer)
 
     # -- universe / descriptors -------------------------------------------
 
@@ -111,12 +112,14 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
         vis = self.vis[pi_index]
         event = value != old_good
         drop = self.options.drop_detected
+        evals = 0
         for fid in self.local_faults[pi_index]:
             descriptor = self.descriptors[fid]
             if descriptor.detected and drop:
                 self._remove(pi_index, fid)
                 continue
             self.counters.fault_evaluations += 1
+            evals += 1
             forced = delayed_value(descriptor.prev_site_value, value, descriptor.kind)
             before = vis.get(fid, old_good)
             if forced != value:
@@ -125,6 +128,10 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
                 self._remove(pi_index, fid)
             if before != forced:
                 event = True
+        if evals:
+            trace = self.tracer
+            if trace is not None:
+                trace.fault_evals(pi_index, evals)
         if event:
             self._emit_event(pi_index)
 
@@ -138,6 +145,10 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
             )
         self.cycle += 1
         self.counters.cycles += 1
+        trace = self.tracer
+        if trace is not None:
+            trace.cycle_start(self.cycle)
+            t0 = time.perf_counter()
 
         if self.cycle == 1:
             for gate_index in circuit.order:
@@ -157,8 +168,14 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
         self._settle()
         self._record_evaluated = None
         self.memory.note_elements(self._live_elements)
+        if trace is not None:
+            t1 = time.perf_counter()
+            trace.phase_time("sample", t1 - t0)
 
         newly_detected = self._detect()
+        if trace is not None:
+            t2 = time.perf_counter()
+            trace.phase_time("detect", t2 - t1)
         # Masters latch from sampled values; slaves commit after pass 2.
         # A flip-flop with a live D-pin transition fault must recompute its
         # latch every boundary: the delayed value depends on the line's
@@ -172,6 +189,9 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
                 self._dirty_ffs.add(ff_index)
         pending = self._compute_ff_updates()
         self._dirty_ffs = set()
+        if trace is not None:
+            t3 = time.perf_counter()
+            trace.phase_time("latch", t3 - t2)
 
         # Firing pass: remove all forcing and let each machine settle to
         # the values its own state implies.
@@ -180,6 +200,8 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
         for gate_index in evaluated:
             self._schedule(gate_index)
         self._settle()
+        if trace is not None:
+            trace.phase_time("fire", time.perf_counter() - t3)
 
         # PV for the next cycle is read *before* the flip-flops commit: a
         # line fed by a flip-flop transitions at the coming clock edge, so
@@ -188,6 +210,18 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
         self._refresh_previous_values()
         self._commit_ff_updates(pending)
         self.memory.note_elements(self._live_elements)
+        if trace is not None:
+            if trace.enabled:
+                visible = sum(map(len, self.vis))
+                invisible = sum(map(len, self.invis))
+            else:
+                visible = invisible = 0
+            trace.cycle_end(
+                self.cycle,
+                live=self._live_elements,
+                visible=visible,
+                invisible=invisible,
+            )
         return newly_detected
 
     def _release_pi_forcing(self) -> None:
@@ -221,4 +255,6 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
     def run(self, vectors: Iterable[Sequence[int]], stop_at_coverage=None):
         result = super().run(vectors, stop_at_coverage)
         result.engine = f"csim-T{'' if not self.options.split_lists else 'V'}"
+        if result.telemetry is not None:
+            result.telemetry.engine = result.engine
         return result

@@ -9,7 +9,7 @@ plus a cached workload factory so repeated benchmark invocations reuse the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.baselines.proofs import ProofsSimulator
 from repro.baselines.serial import simulate_serial, simulate_serial_transition
@@ -21,6 +21,7 @@ from repro.concurrent.transition_engine import TransitionFaultSimulator
 from repro.faults.model import StuckAtFault
 from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
+from repro.obs.tracer import Tracer
 from repro.patterns.atpg import generate_tests
 from repro.patterns.random_gen import random_sequence
 from repro.patterns.vectors import TestSequence
@@ -43,20 +44,25 @@ def run_stuck_at(
     engine: str = "csim-MV",
     faults: Optional[Iterable[StuckAtFault]] = None,
     options: Optional[SimOptions] = None,
+    tracer: Optional[Tracer] = None,
 ) -> FaultSimResult:
     """Run one stuck-at engine over *tests*.
 
     ``engine`` is one of :data:`ENGINE_NAMES`; an explicit ``options``
     overrides the name lookup for concurrent variants (ablations use this).
+    A ``tracer`` (see :mod:`repro.obs`) instruments the run; the serial
+    oracle has no hook sites and ignores it.
     """
     if options is not None:
-        return ConcurrentFaultSimulator(circuit, faults, options).run(tests)
+        return ConcurrentFaultSimulator(
+            circuit, faults, options, tracer=tracer
+        ).run(tests)
     if engine in _OPTIONS_BY_NAME:
         return ConcurrentFaultSimulator(
-            circuit, faults, _OPTIONS_BY_NAME[engine]
+            circuit, faults, _OPTIONS_BY_NAME[engine], tracer=tracer
         ).run(tests)
     if engine == "PROOFS":
-        return ProofsSimulator(circuit, faults).run(tests)
+        return ProofsSimulator(circuit, faults, tracer=tracer).run(tests)
     if engine == "serial":
         return simulate_serial(circuit, tests.vectors, faults)
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
@@ -68,12 +74,13 @@ def run_transition(
     split_lists: bool = True,
     faults=None,
     serial: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> FaultSimResult:
     """Run transition-fault simulation (concurrent by default)."""
     if serial:
         return simulate_serial_transition(circuit, tests.vectors, faults)
     options = SimOptions(split_lists=split_lists)
-    return TransitionFaultSimulator(circuit, faults, options).run(tests)
+    return TransitionFaultSimulator(circuit, faults, options, tracer=tracer).run(tests)
 
 
 def compare_engines(
@@ -81,15 +88,25 @@ def compare_engines(
     tests: TestSequence,
     engines: Iterable[str] = ("csim-V", "csim-M", "csim-MV", "PROOFS"),
     faults: Optional[Iterable[StuckAtFault]] = None,
+    tracer_factory: Optional[Callable[[str], Optional[Tracer]]] = None,
 ) -> List[FaultSimResult]:
     """Run several engines on the identical workload (the Tables 3/4 shape).
 
     Raises if the engines disagree on the detected fault set — a paper
     table with silently inconsistent engines would be meaningless.
+    ``tracer_factory`` is called once per engine name to supply a fresh
+    tracer (or ``None``); each result then carries its own telemetry.
     """
     fault_list = sorted(faults) if faults is not None else stuck_at_universe(circuit)
     results = [
-        run_stuck_at(circuit, tests, engine, fault_list) for engine in engines
+        run_stuck_at(
+            circuit,
+            tests,
+            engine,
+            fault_list,
+            tracer=tracer_factory(engine) if tracer_factory else None,
+        )
+        for engine in engines
     ]
     reference = results[0].detected
     for result in results[1:]:

@@ -34,6 +34,19 @@ from repro.harness.runner import (
     workload_tests,
     workload_transition_faults,
 )
+from repro.obs import RecordingTracer
+
+
+def _tracer_factory(telemetry: bool):
+    """Per-engine tracer supplier for :func:`compare_engines` (or ``None``)."""
+    if not telemetry:
+        return None
+    return lambda engine: RecordingTracer()
+
+
+def _attach_telemetry(row: Row, result) -> None:
+    if result.telemetry is not None:
+        row[f"{result.engine}_telemetry"] = result.telemetry.summary_dict()
 
 #: Default circuit subsets per table, small enough for a pure-Python run.
 DEFAULT_TABLE3 = ("s298", "s344", "s382", "s444", "s526", "s820", "s1238", "s1494")
@@ -85,6 +98,7 @@ def table3(
     circuits: Sequence[str] = DEFAULT_TABLE3,
     scale: float = 1.0,
     seed: int = 1992,
+    telemetry: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 3 — deterministic patterns (I): CPU and memory per engine.
 
@@ -92,12 +106,19 @@ def table3(
     reduce CPU consistently; csim-MV is competitive with PROOFS; macro
     extraction costs a little memory on small circuits and saves a lot on
     large ones.
+
+    ``telemetry=True`` attaches each engine's telemetry summary (phase
+    times, per-cycle series, drop timeline) to the row as
+    ``<engine>_telemetry`` — the machine-readable version of the paper's
+    internal-statistics discussion.
     """
     rows: List[Row] = []
     for name in circuits:
         circuit = workload_circuit(name, scale)
         tests = workload_tests(name, scale, "deterministic", seed=seed)
-        results = compare_engines(circuit, tests, _TABLE3_ENGINES)
+        results = compare_engines(
+            circuit, tests, _TABLE3_ENGINES, tracer_factory=_tracer_factory(telemetry)
+        )
         row: Row = {
             "circuit": name,
             "patterns": len(tests),
@@ -107,6 +128,7 @@ def table3(
             row[f"{result.engine}_cpu"] = result.wall_seconds
             row[f"{result.engine}_mem"] = result.memory.peak_megabytes
             row[f"{result.engine}_work"] = result.counters.total_work()
+            _attach_telemetry(row, result)
         rows.append(row)
     text = format_table(
         ["ckt", "#ptns", "cvg%"]
@@ -131,6 +153,7 @@ def table4(
     circuits: Sequence[str] = DEFAULT_TABLE4,
     scale: float = 1.0,
     seed: int = 1992,
+    telemetry: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 4 — deterministic patterns (II): higher-coverage test sets,
     csim-MV vs PROOFS."""
@@ -138,19 +161,25 @@ def table4(
     for name in circuits:
         circuit = workload_circuit(name, scale)
         tests = workload_tests(name, scale, "deterministic-high", seed=seed)
-        results = compare_engines(circuit, tests, ("csim-MV", "PROOFS"))
-        csim_mv, proofs = results
-        rows.append(
-            {
-                "circuit": name,
-                "patterns": len(tests),
-                "coverage": 100.0 * csim_mv.coverage,
-                "csim-MV_cpu": csim_mv.wall_seconds,
-                "csim-MV_mem": csim_mv.memory.peak_megabytes,
-                "PROOFS_cpu": proofs.wall_seconds,
-                "PROOFS_mem": proofs.memory.peak_megabytes,
-            }
+        results = compare_engines(
+            circuit,
+            tests,
+            ("csim-MV", "PROOFS"),
+            tracer_factory=_tracer_factory(telemetry),
         )
+        csim_mv, proofs = results
+        row: Row = {
+            "circuit": name,
+            "patterns": len(tests),
+            "coverage": 100.0 * csim_mv.coverage,
+            "csim-MV_cpu": csim_mv.wall_seconds,
+            "csim-MV_mem": csim_mv.memory.peak_megabytes,
+            "PROOFS_cpu": proofs.wall_seconds,
+            "PROOFS_mem": proofs.memory.peak_megabytes,
+        }
+        for result in results:
+            _attach_telemetry(row, result)
+        rows.append(row)
     text = format_table(
         ["ckt", "#ptns", "cvg%", "csim-MV CPU", "csim-MV MEM", "PROOFS CPU", "PROOFS MEM"],
         [
@@ -175,6 +204,7 @@ def table5(
     scale: float = 0.05,
     pattern_counts: Sequence[int] = (200, 400, 800),
     seed: int = 1992,
+    telemetry: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 5 — random-pattern simulation on the largest circuit.
 
@@ -186,19 +216,25 @@ def table5(
     circuit = workload_circuit(circuit_name, scale)
     for count in pattern_counts:
         tests = workload_tests(circuit_name, scale, "random", length=count, seed=seed)
-        results = compare_engines(circuit, tests, ("csim-MV", "PROOFS"))
-        csim_mv, proofs = results
-        rows.append(
-            {
-                "circuit": circuit_name,
-                "patterns": count,
-                "coverage": 100.0 * csim_mv.coverage,
-                "csim-MV_cpu": csim_mv.wall_seconds,
-                "csim-MV_mem": csim_mv.memory.peak_megabytes,
-                "PROOFS_cpu": proofs.wall_seconds,
-                "PROOFS_mem": proofs.memory.peak_megabytes,
-            }
+        results = compare_engines(
+            circuit,
+            tests,
+            ("csim-MV", "PROOFS"),
+            tracer_factory=_tracer_factory(telemetry),
         )
+        csim_mv, proofs = results
+        row: Row = {
+            "circuit": circuit_name,
+            "patterns": count,
+            "coverage": 100.0 * csim_mv.coverage,
+            "csim-MV_cpu": csim_mv.wall_seconds,
+            "csim-MV_mem": csim_mv.memory.peak_megabytes,
+            "PROOFS_cpu": proofs.wall_seconds,
+            "PROOFS_mem": proofs.memory.peak_megabytes,
+        }
+        for result in results:
+            _attach_telemetry(row, result)
+        rows.append(row)
     text = format_table(
         ["#ptns", "flt cvg%", "csim-MV CPU", "csim-MV MEM", "PROOFS CPU", "PROOFS MEM"],
         [
@@ -221,6 +257,7 @@ def table6(
     circuits: Sequence[str] = DEFAULT_TABLE6,
     scale: float = 1.0,
     seed: int = 1992,
+    telemetry: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 6 — transition-fault simulation of the stuck-at test sets.
 
@@ -232,19 +269,25 @@ def table6(
         circuit = workload_circuit(name, scale)
         tests = workload_tests(name, scale, "deterministic", seed=seed)
         faults = workload_transition_faults(name, scale)
-        result = run_transition(circuit, tests, split_lists=True, faults=faults)
-        stuck = run_stuck_at(circuit, tests, "csim-MV")
-        rows.append(
-            {
-                "circuit": name,
-                "faults": len(faults),
-                "patterns": len(tests),
-                "stuck_coverage": 100.0 * stuck.coverage,
-                "coverage": 100.0 * result.coverage,
-                "cpu": result.wall_seconds,
-                "mem": result.memory.peak_megabytes,
-            }
+        result = run_transition(
+            circuit,
+            tests,
+            split_lists=True,
+            faults=faults,
+            tracer=RecordingTracer() if telemetry else None,
         )
+        stuck = run_stuck_at(circuit, tests, "csim-MV")
+        row: Row = {
+            "circuit": name,
+            "faults": len(faults),
+            "patterns": len(tests),
+            "stuck_coverage": 100.0 * stuck.coverage,
+            "coverage": 100.0 * result.coverage,
+            "cpu": result.wall_seconds,
+            "mem": result.memory.peak_megabytes,
+        }
+        _attach_telemetry(row, result)
+        rows.append(row)
     text = format_table(
         ["ckt", "#flts", "#ptns", "s-a cvg%", "trans cvg%", "CPU", "MEM"],
         [

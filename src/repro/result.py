@@ -87,6 +87,10 @@ class FaultSimResult:
     counters: WorkCounters = field(default_factory=WorkCounters)
     memory: MemoryStats = field(default_factory=MemoryStats)
     wall_seconds: float = 0.0
+    #: Recorded run telemetry (:class:`repro.obs.Telemetry`) when the run
+    #: was traced with a recording tracer; None otherwise.  Typed loosely
+    #: so this module stays import-light (obs imports result, not back).
+    telemetry: Optional[object] = None
 
     @property
     def num_detected(self) -> int:
