@@ -76,6 +76,41 @@ class ProofsSimulator:
         self.counters = WorkCounters()
         self.memory = MemoryStats(num_descriptors=len(self.faults))
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full simulation state (see the concurrent engine's
+        :meth:`~repro.concurrent.engine.ConcurrentFaultSimulator.snapshot`).
+
+        PROOFS keeps almost no per-fault state — only the faulty flip-flop
+        diffs — so its checkpoint is tiny.
+        """
+        import copy
+
+        return {
+            "values": list(self.good.values),
+            "good_cycle": self.good.cycle,
+            "cycle": self.cycle,
+            "detected": dict(self.detected),
+            "potential": dict(self.potentially_detected),
+            "ff_diffs": {fault: dict(d) for fault, d in self.ff_diffs.items()},
+            "counters": copy.copy(self.counters),
+            "memory": copy.copy(self.memory),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll the simulator back to a :meth:`snapshot`."""
+        import copy
+
+        self.good.values[:] = state["values"]
+        self.good.cycle = state["good_cycle"]
+        self.cycle = state["cycle"]
+        self.detected = dict(state["detected"])
+        self.potentially_detected = dict(state["potential"])
+        self.ff_diffs = {fault: dict(d) for fault, d in state["ff_diffs"].items()}
+        self.counters = copy.copy(state["counters"])
+        self.memory = copy.copy(state["memory"])
+
     # ------------------------------------------------------------------
     # per-cycle flow
     # ------------------------------------------------------------------
@@ -118,13 +153,22 @@ class ProofsSimulator:
             trace.cycle_end(self.cycle, live=live, visible=live, invisible=0)
         return newly
 
-    def run(self, vectors: Iterable[Sequence[int]]) -> FaultSimResult:
+    def run(self, vectors: Iterable[Sequence[int]], budget=None) -> FaultSimResult:
         trace = self.tracer
         if trace is not None:
             trace.run_start("PROOFS", self.circuit.name)
+        clock = budget.start() if budget else None
         start = time.perf_counter()
         applied = 0
+        truncation_reason = None
         for vector in vectors:
+            if clock is not None:
+                breach = clock.check(self.counters.cycles, self.memory.peak_bytes)
+                if breach is not None:
+                    truncation_reason = breach.describe()
+                    if trace is not None:
+                        trace.budget_breach(breach.kind, breach.limit, breach.actual)
+                    break
             self.step(vector)
             applied += 1
         elapsed = time.perf_counter() - start
@@ -138,6 +182,8 @@ class ProofsSimulator:
             counters=self.counters,
             memory=self.memory,
             wall_seconds=elapsed,
+            truncated=truncation_reason is not None,
+            truncation_reason=truncation_reason,
         )
         if trace is not None:
             trace.run_end(elapsed)

@@ -41,9 +41,18 @@ def simulate_serial(
     vectors: Sequence[Sequence[int]],
     faults: Optional[Iterable[StuckAtFault]] = None,
     drop_detected: bool = True,
+    budget=None,
 ) -> FaultSimResult:
-    """Simulate every fault serially; returns the standard result record."""
+    """Simulate every fault serially; returns the standard result record.
+
+    A ``budget`` (:class:`repro.robust.budget.Budget`) bounds the run by
+    wall clock only — the serial loop is per *fault*, not per cycle, so the
+    budget is checked between faulty machines and the result is flagged
+    truncated when the limit hits (remaining faults simply stay
+    undetected in the partial result).
+    """
     fault_list = sorted(faults) if faults is not None else stuck_at_universe(circuit)
+    clock = budget.start() if budget else None
     start = time.perf_counter()
     counters = WorkCounters()
 
@@ -56,7 +65,13 @@ def simulate_serial(
 
     detected: Dict[Fault, int] = {}
     potential: Dict[Fault, int] = {}
+    truncation_reason = None
     for fault in fault_list:
+        if clock is not None:
+            breach = clock.check(0, 0)  # wall clock is the only serial axis
+            if breach is not None:
+                truncation_reason = breach.describe()
+                break
         machine = LogicSimulator(circuit, fault)
         for cycle, vector in enumerate(vectors, start=1):
             outputs = machine.step(vector)
@@ -85,6 +100,8 @@ def simulate_serial(
         # descriptor count keeps the memory model comparable across engines.
         memory=MemoryStats(num_descriptors=len(fault_list)),
         wall_seconds=time.perf_counter() - start,
+        truncated=truncation_reason is not None,
+        truncation_reason=truncation_reason,
     )
 
 

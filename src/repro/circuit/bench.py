@@ -61,40 +61,57 @@ _DECL_RE = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<name>[^)\s]+)\s*\)\s*
 
 
 def parse_bench(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` source text into a built, levelized :class:`Circuit`."""
+    """Parse ``.bench`` source text into a built, levelized :class:`Circuit`.
+
+    Every failure — unparsable line, bad gate declaration, and the
+    structural errors found at build time (undefined signal, duplicate
+    definition, no outputs, combinational cycle) — surfaces as a
+    :class:`NetlistError`.  Line-attributable errors carry ``name:line:``
+    context; whole-circuit errors carry ``name:`` context.
+    """
     builder = CircuitBuilder(name)
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
             continue
 
-        declaration = _DECL_RE.match(line)
-        if declaration:
-            kind = declaration.group("kind").upper()
-            signal = declaration.group("name")
-            if kind == "INPUT":
-                builder.add_input(signal)
+        try:
+            declaration = _DECL_RE.match(line)
+            if declaration:
+                kind = declaration.group("kind").upper()
+                signal = declaration.group("name")
+                if kind == "INPUT":
+                    builder.add_input(signal)
+                else:
+                    builder.set_output(signal)
+                continue
+
+            assignment = _ASSIGN_RE.match(line)
+            if assignment is None:
+                raise NetlistError(f"cannot parse line: {raw_line.strip()!r}")
+
+            signal = assignment.group("name")
+            keyword = assignment.group("kind").upper()
+            args = [
+                token.strip()
+                for token in assignment.group("args").split(",")
+                if token.strip()
+            ]
+            gtype = _GATE_KEYWORDS.get(keyword)
+            if gtype is None:
+                raise NetlistError(f"unknown gate keyword {keyword!r}")
+            if gtype is GateType.DFF:
+                if len(args) != 1:
+                    raise NetlistError("DFF must have exactly one fanin")
+                builder.add_dff(signal, args[0])
             else:
-                builder.set_output(signal)
-            continue
-
-        assignment = _ASSIGN_RE.match(line)
-        if assignment is None:
-            raise NetlistError(f"{name}:{line_number}: cannot parse line: {raw_line.strip()!r}")
-
-        signal = assignment.group("name")
-        keyword = assignment.group("kind").upper()
-        args = [token.strip() for token in assignment.group("args").split(",") if token.strip()]
-        gtype = _GATE_KEYWORDS.get(keyword)
-        if gtype is None:
-            raise NetlistError(f"{name}:{line_number}: unknown gate keyword {keyword!r}")
-        if gtype is GateType.DFF:
-            if len(args) != 1:
-                raise NetlistError(f"{name}:{line_number}: DFF must have exactly one fanin")
-            builder.add_dff(signal, args[0])
-        else:
-            builder.add_gate(signal, gtype, args)
-    return builder.build()
+                builder.add_gate(signal, gtype, args)
+        except NetlistError as exc:
+            raise NetlistError(f"{name}:{line_number}: {exc}") from None
+    try:
+        return builder.build()
+    except NetlistError as exc:
+        raise NetlistError(f"{name}: {exc}") from None
 
 
 def parse_bench_file(path: str) -> Circuit:

@@ -14,12 +14,17 @@ from __future__ import annotations
 from collections import deque
 from typing import List
 
-from repro.circuit.netlist import Circuit
+from repro.circuit.netlist import Circuit, NetlistError
 from repro.logic.tables import GateType
 
 
-class LevelizationError(ValueError):
-    """Raised when the combinational part of a circuit contains a cycle."""
+class LevelizationError(NetlistError):
+    """Raised when the combinational part of a circuit contains a cycle.
+
+    A :class:`NetlistError` subclass: a cyclic netlist is a malformed
+    netlist, and callers hardened against bad input (the CLI, the
+    ``.bench`` fuzz tests) catch the base class.
+    """
 
 
 def levelize(circuit: Circuit) -> None:

@@ -20,7 +20,7 @@ from typing import Dict, List
 
 from repro.circuit.bench import parse_bench, parse_bench_file
 from repro.circuit.generate import CircuitProfile, generate_circuit
-from repro.circuit.netlist import Circuit
+from repro.circuit.netlist import Circuit, NetlistError
 
 #: The real ISCAS-89 s27 netlist.
 S27_BENCH = """
@@ -118,5 +118,7 @@ def load(name: str, scale: float = 1.0) -> Circuit:
         return parse_bench_file(name)
     profile = ISCAS89_PROFILES.get(name)
     if profile is None:
-        raise KeyError(f"unknown benchmark circuit {name!r}; known: {available_circuits()}")
+        raise NetlistError(
+            f"unknown benchmark circuit {name!r}; known: {available_circuits()}"
+        )
     return generate_circuit(profile.scaled(scale))

@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.circuit.library import load
+from repro.circuit.netlist import NetlistError
 from repro.circuit.stats import circuit_stats
 from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
@@ -29,6 +30,14 @@ from repro.harness.runner import ENGINE_NAMES, run_stuck_at, run_transition
 from repro.patterns.atpg import generate_tests
 from repro.patterns.random_gen import random_sequence
 from repro.patterns.vectors import format_vectors, parse_vectors
+from repro.robust import (
+    Budget,
+    CampaignInterrupted,
+    TableCampaign,
+    config_fingerprint,
+    run_checkpointed,
+    run_with_ladder,
+)
 
 
 def _load_tests(args, circuit):
@@ -88,6 +97,58 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_robust_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write campaign progress here; resumable with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the --checkpoint file instead of starting over",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="cycles between periodic checkpoint writes (default 64)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        metavar="S",
+        help="wall-clock budget; a breached run stops cleanly, flagged truncated",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, metavar="N", help="clock-cycle budget"
+    )
+    parser.add_argument(
+        "--max-memory-mb",
+        type=float,
+        metavar="MB",
+        help="modelled fault-element memory budget",
+    )
+
+
+def _make_budget(args) -> Optional[Budget]:
+    if not (args.max_seconds or args.max_cycles or args.max_memory_mb):
+        return None
+    return Budget(
+        max_wall_seconds=args.max_seconds,
+        max_cycles=args.max_cycles,
+        max_memory_bytes=(
+            int(args.max_memory_mb * 2**20) if args.max_memory_mb else None
+        ),
+    )
+
+
+def _check_robust_args(args) -> None:
+    if args.resume and not args.checkpoint:
+        raise ValueError("--resume requires --checkpoint FILE")
+
+
 def _add_test_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tests", help="vector file (one 0/1/X vector per line)")
     parser.add_argument(
@@ -124,10 +185,28 @@ def cmd_stats(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    _check_robust_args(args)
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
-    result = run_stuck_at(circuit, tests, args.engine, tracer=tracer)
+    budget = _make_budget(args)
+    if args.ladder:
+        if args.checkpoint:
+            raise ValueError("--ladder and --checkpoint are mutually exclusive")
+        result = run_with_ladder(circuit, tests, tracer=tracer, budget=budget)
+    elif args.checkpoint:
+        result = run_checkpointed(
+            circuit,
+            tests,
+            args.engine,
+            tracer=tracer,
+            budget=budget,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        result = run_stuck_at(circuit, tests, args.engine, tracer=tracer, budget=budget)
     print(result.summary())
     if args.verbose:
         from repro.faults.model import fault_name
@@ -139,10 +218,24 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_transition(args) -> int:
+    _check_robust_args(args)
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
-    result = run_transition(circuit, tests, tracer=tracer)
+    budget = _make_budget(args)
+    if args.checkpoint:
+        result = run_checkpointed(
+            circuit,
+            tests,
+            transition=True,
+            tracer=tracer,
+            budget=budget,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        result = run_transition(circuit, tests, tracer=tracer, budget=budget)
     print(result.summary())
     _emit_observability(args, result, circuit, tracer)
     return 0
@@ -169,7 +262,23 @@ def cmd_generate_tests(args) -> int:
 def cmd_tables(args) -> int:
     from repro.harness import tables
 
-    print(tables.all_tables(scale=args.scale, quick=args.quick))
+    _check_robust_args(args)
+    campaign = None
+    if args.checkpoint:
+        fingerprint = config_fingerprint(
+            "tables", args.scale, bool(args.quick), bool(args.deterministic)
+        )
+        campaign = TableCampaign(
+            args.checkpoint, resume=args.resume, fingerprint=fingerprint
+        )
+    print(
+        tables.all_tables(
+            scale=args.scale,
+            quick=args.quick,
+            campaign=campaign,
+            deterministic=args.deterministic,
+        )
+    )
     return 0
 
 
@@ -194,7 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--verbose", action="store_true", help="list detections with cycles"
     )
+    simulate.add_argument(
+        "--ladder",
+        action="store_true",
+        help="run the engine ladder: audit the result against the serial "
+        "oracle, degrading csim-MV -> csim -> serial on any failure",
+    )
     _add_obs_args(simulate)
+    _add_robust_args(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     transition = commands.add_parser(
@@ -203,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_circuit_arg(transition)
     _add_test_args(transition)
     _add_obs_args(transition)
+    _add_robust_args(transition)
     transition.set_defaults(handler=cmd_transition)
 
     gen = commands.add_parser(
@@ -218,14 +335,60 @@ def build_parser() -> argparse.ArgumentParser:
     tables = commands.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("--scale", type=float, default=0.25)
     tables.add_argument("--quick", action="store_true")
+    tables.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write per-cell campaign progress here; resumable with --resume",
+    )
+    tables.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted table campaign from --checkpoint",
+    )
+    tables.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="zero the wall-clock columns so resumed output is byte-identical",
+    )
     tables.set_defaults(handler=cmd_tables)
 
     return parser
 
 
+def _resume_hint(argv: Optional[List[str]]) -> str:
+    words = list(argv) if argv is not None else sys.argv[1:]
+    if "--resume" not in words:
+        words = words + ["--resume"]
+    return "python -m repro " + " ".join(words)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and dispatch; expected failures become clean exit codes.
+
+    Anticipated errors — bad netlists, missing files, bad argument
+    combinations, corrupt checkpoints (``CheckpointError`` is a
+    ``ValueError``) — exit 2 with a one-line message instead of a
+    traceback.  Interrupts exit 130, printing where the campaign's
+    progress was saved and the exact command that resumes it.
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except CampaignInterrupted as exc:
+        print("interrupted", file=sys.stderr)
+        if exc.checkpoint_path:
+            print(
+                f"progress saved to {exc.checkpoint_path}; resume with:\n"
+                f"  {_resume_hint(argv)}",
+                file=sys.stderr,
+            )
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted (no checkpoint; progress lost)", file=sys.stderr)
+        return 130
+    except (NetlistError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -391,18 +391,31 @@ class ConcurrentFaultSimulator:
         self,
         vectors: Iterable[Sequence[int]],
         stop_at_coverage: Optional[float] = None,
+        budget=None,
     ) -> FaultSimResult:
         """Simulate a whole sequence and package the result.
 
         ``stop_at_coverage`` (fraction) ends the run early once reached —
-        useful for test-generation loops.
+        useful for test-generation loops.  A ``budget``
+        (:class:`repro.robust.budget.Budget`) is checked at every cycle
+        boundary; on a breach the run stops cleanly and the result comes
+        back with ``truncated=True`` and the breach as its reason.
         """
         trace = self.tracer
         if trace is not None:
             trace.run_start(self.options.variant_name, self.original_circuit.name)
+        clock = budget.start() if budget else None
         start = time.perf_counter()
         applied = 0
+        truncation_reason = None
         for vector in vectors:
+            if clock is not None:
+                breach = clock.check(self.counters.cycles, self.memory.peak_bytes)
+                if breach is not None:
+                    truncation_reason = breach.describe()
+                    if trace is not None:
+                        trace.budget_breach(breach.kind, breach.limit, breach.actual)
+                    break
             self.step(vector)
             applied += 1
             if (
@@ -422,6 +435,8 @@ class ConcurrentFaultSimulator:
             counters=self.counters,
             memory=self.memory,
             wall_seconds=elapsed,
+            truncated=truncation_reason is not None,
+            truncation_reason=truncation_reason,
         )
         if trace is not None:
             trace.run_end(elapsed)

@@ -125,6 +125,60 @@ class ConcurrentEventFaultSimulator:
             descriptor.detected = False
             descriptor.detect_cycle = None
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full simulation state, timing wheel included.
+
+        The returned object is opaque; pass it back to :meth:`restore`.
+        Counters and memory statistics are included so a restored run is
+        bit-identical to one that was never interrupted.
+        """
+        import copy
+
+        return {
+            "good": list(self.good),
+            "vis": [dict(bucket) for bucket in self.vis],
+            "time": self.time,
+            "cycle": self.cycle,
+            "detected": dict(self.detected),
+            "potential": dict(self.potentially_detected),
+            "counters": copy.copy(self.counters),
+            "memory": copy.copy(self.memory),
+            "live": self._live,
+            "bucket": {at: list(events) for at, events in self._bucket.items()},
+            "times": list(self._times),
+            "last_posted": dict(self._last_posted),
+            "powered_up": self._powered_up,
+            "descriptor_state": [
+                (d.detected, d.detect_cycle) for d in self.descriptors
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll the simulator back to a :meth:`snapshot`."""
+        import copy
+
+        self.good = list(state["good"])
+        self.vis = [dict(bucket) for bucket in state["vis"]]
+        self.time = state["time"]
+        self.cycle = state["cycle"]
+        self.detected = dict(state["detected"])
+        self.potentially_detected = dict(state["potential"])
+        self.counters = copy.copy(state["counters"])
+        self.memory = copy.copy(state["memory"])
+        self._live = state["live"]
+        self._bucket = {at: list(events) for at, events in state["bucket"].items()}
+        # A copied heap list keeps the heap property; no re-heapify needed.
+        self._times = list(state["times"])
+        self._last_posted = dict(state["last_posted"])
+        self._powered_up = state["powered_up"]
+        for descriptor, (det, det_cycle) in zip(
+            self.descriptors, state["descriptor_state"]
+        ):
+            descriptor.detected = det
+            descriptor.detect_cycle = det_cycle
+
     # ------------------------------------------------------------------
     # timing wheel
     # ------------------------------------------------------------------
@@ -462,13 +516,24 @@ class ConcurrentEventFaultSimulator:
         trace.cycle_end(self.cycle, live=self._live, visible=visible, invisible=0)
         return newly
 
-    def run(self, vectors: Sequence[Sequence[int]], period: int) -> FaultSimResult:
+    def run(
+        self, vectors: Sequence[Sequence[int]], period: int, budget=None
+    ) -> FaultSimResult:
         trace = self.tracer
         if trace is not None:
             trace.run_start("csim-AD", self.circuit.name)
+        clock = budget.start() if budget else None
         start = time_module.perf_counter()
         applied = 0
+        truncation_reason = None
         for vector in vectors:
+            if clock is not None:
+                breach = clock.check(self.counters.cycles, self.memory.peak_bytes)
+                if breach is not None:
+                    truncation_reason = breach.describe()
+                    if trace is not None:
+                        trace.budget_breach(breach.kind, breach.limit, breach.actual)
+                    break
             self.run_cycle(vector, period)
             applied += 1
         elapsed = time_module.perf_counter() - start
@@ -482,6 +547,8 @@ class ConcurrentEventFaultSimulator:
             counters=self.counters,
             memory=self.memory,
             wall_seconds=elapsed,
+            truncated=truncation_reason is not None,
+            truncation_reason=truncation_reason,
         )
         if trace is not None:
             trace.run_end(elapsed)

@@ -252,8 +252,8 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
                 line = circuit.gates[descriptor.site_gate].fanin[descriptor.pin]
             descriptor.prev_site_value = vis[line].get(descriptor.fid, good[line])
 
-    def run(self, vectors: Iterable[Sequence[int]], stop_at_coverage=None):
-        result = super().run(vectors, stop_at_coverage)
+    def run(self, vectors: Iterable[Sequence[int]], stop_at_coverage=None, budget=None):
+        result = super().run(vectors, stop_at_coverage, budget=budget)
         result.engine = f"csim-T{'' if not self.options.split_lists else 'V'}"
         if result.telemetry is not None:
             result.telemetry.engine = result.engine

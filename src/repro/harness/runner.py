@@ -38,6 +38,31 @@ _OPTIONS_BY_NAME = {
 }
 
 
+def make_stuck_at_simulator(
+    circuit: Circuit,
+    engine: str = "csim-MV",
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    options: Optional[SimOptions] = None,
+    tracer: Optional[Tracer] = None,
+):
+    """Build the simulator object behind a named stuck-at engine.
+
+    The resilient runner (:mod:`repro.robust.runner`) needs the simulator
+    itself — for ``snapshot()``/``restore()`` and invariant checks — rather
+    than just a finished result; the ``serial`` oracle has no incremental
+    simulator object and is rejected here.
+    """
+    if engine == "serial":
+        raise ValueError("the serial oracle has no incremental simulator object")
+    if options is None:
+        options = _OPTIONS_BY_NAME.get(engine)
+    if options is not None:
+        return ConcurrentFaultSimulator(circuit, faults, options, tracer=tracer)
+    if engine == "PROOFS":
+        return ProofsSimulator(circuit, faults, tracer=tracer)
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
+
+
 def run_stuck_at(
     circuit: Circuit,
     tests: TestSequence,
@@ -45,27 +70,21 @@ def run_stuck_at(
     faults: Optional[Iterable[StuckAtFault]] = None,
     options: Optional[SimOptions] = None,
     tracer: Optional[Tracer] = None,
+    budget=None,
 ) -> FaultSimResult:
     """Run one stuck-at engine over *tests*.
 
     ``engine`` is one of :data:`ENGINE_NAMES`; an explicit ``options``
     overrides the name lookup for concurrent variants (ablations use this).
     A ``tracer`` (see :mod:`repro.obs`) instruments the run; the serial
-    oracle has no hook sites and ignores it.
+    oracle has no hook sites and ignores it.  A ``budget``
+    (:class:`repro.robust.budget.Budget`) bounds the run; a breached run
+    returns a result flagged ``truncated`` instead of hanging.
     """
-    if options is not None:
-        return ConcurrentFaultSimulator(
-            circuit, faults, options, tracer=tracer
-        ).run(tests)
-    if engine in _OPTIONS_BY_NAME:
-        return ConcurrentFaultSimulator(
-            circuit, faults, _OPTIONS_BY_NAME[engine], tracer=tracer
-        ).run(tests)
-    if engine == "PROOFS":
-        return ProofsSimulator(circuit, faults, tracer=tracer).run(tests)
-    if engine == "serial":
-        return simulate_serial(circuit, tests.vectors, faults)
-    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
+    if engine == "serial" and options is None:
+        return simulate_serial(circuit, tests.vectors, faults, budget=budget)
+    simulator = make_stuck_at_simulator(circuit, engine, faults, options, tracer)
+    return simulator.run(tests, budget=budget)
 
 
 def run_transition(
@@ -75,12 +94,14 @@ def run_transition(
     faults=None,
     serial: bool = False,
     tracer: Optional[Tracer] = None,
+    budget=None,
 ) -> FaultSimResult:
     """Run transition-fault simulation (concurrent by default)."""
     if serial:
         return simulate_serial_transition(circuit, tests.vectors, faults)
     options = SimOptions(split_lists=split_lists)
-    return TransitionFaultSimulator(circuit, faults, options, tracer=tracer).run(tests)
+    simulator = TransitionFaultSimulator(circuit, faults, options, tracer=tracer)
+    return simulator.run(tests, budget=budget)
 
 
 def compare_engines(

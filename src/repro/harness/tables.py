@@ -44,6 +44,31 @@ def _tracer_factory(telemetry: bool):
     return lambda engine: RecordingTracer()
 
 
+def _cell(campaign, key, compute):
+    """Compute one table cell, durably when a campaign checkpoint is active.
+
+    With a :class:`repro.robust.TableCampaign`, a finished cell is written
+    to the checkpoint immediately and a resumed campaign returns it from
+    disk without recomputing; without one this is just ``compute()``.
+    """
+    if campaign is None:
+        return compute()
+    return campaign.cell(key, compute)
+
+
+def _scrub_timings(row: Row) -> Row:
+    """Zero the wall-clock fields of a row (``deterministic`` table mode).
+
+    CPU seconds are the one nondeterministic quantity in a table row; with
+    them zeroed, an interrupted-and-resumed campaign renders byte-identical
+    to an uninterrupted one — which is what the CI resume check diffs.
+    """
+    for key in row:
+        if key == "cpu" or key.endswith("_cpu"):
+            row[key] = 0.0
+    return row
+
+
 def _attach_telemetry(row: Row, result) -> None:
     if result.telemetry is not None:
         row[f"{result.engine}_telemetry"] = result.telemetry.summary_dict()
@@ -60,16 +85,18 @@ def table2(
     circuits: Sequence[str] = DEFAULT_TABLE3,
     scale: float = 1.0,
     seed: int = 1992,
+    campaign=None,
 ) -> Tuple[List[Row], str]:
     """Table 2 — benchmark circuit statistics and the tests applied."""
     rows: List[Row] = []
     for name in circuits:
-        circuit = workload_circuit(name, scale)
-        stats = circuit_stats(circuit)
-        faults = stuck_at_universe(circuit)
-        tests = workload_tests(name, scale, "deterministic", seed=seed)
-        rows.append(
-            {
+
+        def compute(name=name) -> Row:
+            circuit = workload_circuit(name, scale)
+            stats = circuit_stats(circuit)
+            faults = stuck_at_universe(circuit)
+            tests = workload_tests(name, scale, "deterministic", seed=seed)
+            return {
                 "circuit": name,
                 "pis": stats.num_inputs,
                 "pos": stats.num_outputs,
@@ -79,7 +106,8 @@ def table2(
                 "faults": len(faults),
                 "patterns": len(tests),
             }
-        )
+
+        rows.append(_cell(campaign, ("table2", name), compute))
     text = format_table(
         ["ckt", "#PI", "#PO", "#FF", "#gates", "#levels", "#faults", "#ptns"],
         [
@@ -99,6 +127,8 @@ def table3(
     scale: float = 1.0,
     seed: int = 1992,
     telemetry: bool = False,
+    campaign=None,
+    deterministic: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 3 — deterministic patterns (I): CPU and memory per engine.
 
@@ -114,22 +144,29 @@ def table3(
     """
     rows: List[Row] = []
     for name in circuits:
-        circuit = workload_circuit(name, scale)
-        tests = workload_tests(name, scale, "deterministic", seed=seed)
-        results = compare_engines(
-            circuit, tests, _TABLE3_ENGINES, tracer_factory=_tracer_factory(telemetry)
-        )
-        row: Row = {
-            "circuit": name,
-            "patterns": len(tests),
-            "coverage": 100.0 * results[0].coverage,
-        }
-        for result in results:
-            row[f"{result.engine}_cpu"] = result.wall_seconds
-            row[f"{result.engine}_mem"] = result.memory.peak_megabytes
-            row[f"{result.engine}_work"] = result.counters.total_work()
-            _attach_telemetry(row, result)
-        rows.append(row)
+
+        def compute(name=name) -> Row:
+            circuit = workload_circuit(name, scale)
+            tests = workload_tests(name, scale, "deterministic", seed=seed)
+            results = compare_engines(
+                circuit,
+                tests,
+                _TABLE3_ENGINES,
+                tracer_factory=_tracer_factory(telemetry),
+            )
+            row: Row = {
+                "circuit": name,
+                "patterns": len(tests),
+                "coverage": 100.0 * results[0].coverage,
+            }
+            for result in results:
+                row[f"{result.engine}_cpu"] = result.wall_seconds
+                row[f"{result.engine}_mem"] = result.memory.peak_megabytes
+                row[f"{result.engine}_work"] = result.counters.total_work()
+                _attach_telemetry(row, result)
+            return _scrub_timings(row) if deterministic else row
+
+        rows.append(_cell(campaign, ("table3", name), compute))
     text = format_table(
         ["ckt", "#ptns", "cvg%"]
         + [f"{engine} {unit}" for engine in _TABLE3_ENGINES for unit in ("CPU", "mem")],
@@ -154,32 +191,38 @@ def table4(
     scale: float = 1.0,
     seed: int = 1992,
     telemetry: bool = False,
+    campaign=None,
+    deterministic: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 4 — deterministic patterns (II): higher-coverage test sets,
     csim-MV vs PROOFS."""
     rows: List[Row] = []
     for name in circuits:
-        circuit = workload_circuit(name, scale)
-        tests = workload_tests(name, scale, "deterministic-high", seed=seed)
-        results = compare_engines(
-            circuit,
-            tests,
-            ("csim-MV", "PROOFS"),
-            tracer_factory=_tracer_factory(telemetry),
-        )
-        csim_mv, proofs = results
-        row: Row = {
-            "circuit": name,
-            "patterns": len(tests),
-            "coverage": 100.0 * csim_mv.coverage,
-            "csim-MV_cpu": csim_mv.wall_seconds,
-            "csim-MV_mem": csim_mv.memory.peak_megabytes,
-            "PROOFS_cpu": proofs.wall_seconds,
-            "PROOFS_mem": proofs.memory.peak_megabytes,
-        }
-        for result in results:
-            _attach_telemetry(row, result)
-        rows.append(row)
+
+        def compute(name=name) -> Row:
+            circuit = workload_circuit(name, scale)
+            tests = workload_tests(name, scale, "deterministic-high", seed=seed)
+            results = compare_engines(
+                circuit,
+                tests,
+                ("csim-MV", "PROOFS"),
+                tracer_factory=_tracer_factory(telemetry),
+            )
+            csim_mv, proofs = results
+            row: Row = {
+                "circuit": name,
+                "patterns": len(tests),
+                "coverage": 100.0 * csim_mv.coverage,
+                "csim-MV_cpu": csim_mv.wall_seconds,
+                "csim-MV_mem": csim_mv.memory.peak_megabytes,
+                "PROOFS_cpu": proofs.wall_seconds,
+                "PROOFS_mem": proofs.memory.peak_megabytes,
+            }
+            for result in results:
+                _attach_telemetry(row, result)
+            return _scrub_timings(row) if deterministic else row
+
+        rows.append(_cell(campaign, ("table4", name), compute))
     text = format_table(
         ["ckt", "#ptns", "cvg%", "csim-MV CPU", "csim-MV MEM", "PROOFS CPU", "PROOFS MEM"],
         [
@@ -205,6 +248,8 @@ def table5(
     pattern_counts: Sequence[int] = (200, 400, 800),
     seed: int = 1992,
     telemetry: bool = False,
+    campaign=None,
+    deterministic: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 5 — random-pattern simulation on the largest circuit.
 
@@ -215,26 +260,32 @@ def table5(
     rows: List[Row] = []
     circuit = workload_circuit(circuit_name, scale)
     for count in pattern_counts:
-        tests = workload_tests(circuit_name, scale, "random", length=count, seed=seed)
-        results = compare_engines(
-            circuit,
-            tests,
-            ("csim-MV", "PROOFS"),
-            tracer_factory=_tracer_factory(telemetry),
-        )
-        csim_mv, proofs = results
-        row: Row = {
-            "circuit": circuit_name,
-            "patterns": count,
-            "coverage": 100.0 * csim_mv.coverage,
-            "csim-MV_cpu": csim_mv.wall_seconds,
-            "csim-MV_mem": csim_mv.memory.peak_megabytes,
-            "PROOFS_cpu": proofs.wall_seconds,
-            "PROOFS_mem": proofs.memory.peak_megabytes,
-        }
-        for result in results:
-            _attach_telemetry(row, result)
-        rows.append(row)
+
+        def compute(count=count) -> Row:
+            tests = workload_tests(
+                circuit_name, scale, "random", length=count, seed=seed
+            )
+            results = compare_engines(
+                circuit,
+                tests,
+                ("csim-MV", "PROOFS"),
+                tracer_factory=_tracer_factory(telemetry),
+            )
+            csim_mv, proofs = results
+            row: Row = {
+                "circuit": circuit_name,
+                "patterns": count,
+                "coverage": 100.0 * csim_mv.coverage,
+                "csim-MV_cpu": csim_mv.wall_seconds,
+                "csim-MV_mem": csim_mv.memory.peak_megabytes,
+                "PROOFS_cpu": proofs.wall_seconds,
+                "PROOFS_mem": proofs.memory.peak_megabytes,
+            }
+            for result in results:
+                _attach_telemetry(row, result)
+            return _scrub_timings(row) if deterministic else row
+
+        rows.append(_cell(campaign, ("table5", circuit_name, count), compute))
     text = format_table(
         ["#ptns", "flt cvg%", "csim-MV CPU", "csim-MV MEM", "PROOFS CPU", "PROOFS MEM"],
         [
@@ -258,6 +309,8 @@ def table6(
     scale: float = 1.0,
     seed: int = 1992,
     telemetry: bool = False,
+    campaign=None,
+    deterministic: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 6 — transition-fault simulation of the stuck-at test sets.
 
@@ -266,28 +319,32 @@ def table6(
     """
     rows: List[Row] = []
     for name in circuits:
-        circuit = workload_circuit(name, scale)
-        tests = workload_tests(name, scale, "deterministic", seed=seed)
-        faults = workload_transition_faults(name, scale)
-        result = run_transition(
-            circuit,
-            tests,
-            split_lists=True,
-            faults=faults,
-            tracer=RecordingTracer() if telemetry else None,
-        )
-        stuck = run_stuck_at(circuit, tests, "csim-MV")
-        row: Row = {
-            "circuit": name,
-            "faults": len(faults),
-            "patterns": len(tests),
-            "stuck_coverage": 100.0 * stuck.coverage,
-            "coverage": 100.0 * result.coverage,
-            "cpu": result.wall_seconds,
-            "mem": result.memory.peak_megabytes,
-        }
-        _attach_telemetry(row, result)
-        rows.append(row)
+
+        def compute(name=name) -> Row:
+            circuit = workload_circuit(name, scale)
+            tests = workload_tests(name, scale, "deterministic", seed=seed)
+            faults = workload_transition_faults(name, scale)
+            result = run_transition(
+                circuit,
+                tests,
+                split_lists=True,
+                faults=faults,
+                tracer=RecordingTracer() if telemetry else None,
+            )
+            stuck = run_stuck_at(circuit, tests, "csim-MV")
+            row: Row = {
+                "circuit": name,
+                "faults": len(faults),
+                "patterns": len(tests),
+                "stuck_coverage": 100.0 * stuck.coverage,
+                "coverage": 100.0 * result.coverage,
+                "cpu": result.wall_seconds,
+                "mem": result.memory.peak_megabytes,
+            }
+            _attach_telemetry(row, result)
+            return _scrub_timings(row) if deterministic else row
+
+        rows.append(_cell(campaign, ("table6", name), compute))
     text = format_table(
         ["ckt", "#flts", "#ptns", "s-a cvg%", "trans cvg%", "CPU", "MEM"],
         [
@@ -307,14 +364,34 @@ def table6(
     return rows, text
 
 
-def all_tables(scale: float = 1.0, quick: bool = False) -> str:
-    """Run every table and return one combined report."""
+def all_tables(
+    scale: float = 1.0,
+    quick: bool = False,
+    campaign=None,
+    deterministic: bool = False,
+) -> str:
+    """Run every table and return one combined report.
+
+    With a ``campaign`` (:class:`repro.robust.TableCampaign`), every
+    finished cell is durable: an interrupted run resumes without
+    recomputation.  ``deterministic`` zeroes the wall-clock columns so an
+    interrupted-and-resumed report is byte-identical to a fresh one.
+    """
     t3_circuits = DEFAULT_TABLE4 if quick else DEFAULT_TABLE3
     sections = [
-        table2(t3_circuits, scale)[1],
-        table3(t3_circuits, scale)[1],
-        table4(DEFAULT_TABLE4, scale)[1],
-        table5(scale=0.03 if quick else 0.05, pattern_counts=(100, 200) if quick else (200, 400, 800))[1],
-        table6(DEFAULT_TABLE6, scale)[1],
+        table2(t3_circuits, scale, campaign=campaign)[1],
+        table3(t3_circuits, scale, campaign=campaign, deterministic=deterministic)[1],
+        table4(
+            DEFAULT_TABLE4, scale, campaign=campaign, deterministic=deterministic
+        )[1],
+        table5(
+            scale=0.03 if quick else 0.05,
+            pattern_counts=(100, 200) if quick else (200, 400, 800),
+            campaign=campaign,
+            deterministic=deterministic,
+        )[1],
+        table6(
+            DEFAULT_TABLE6, scale, campaign=campaign, deterministic=deterministic
+        )[1],
     ]
     return "\n\n".join(sections)

@@ -41,6 +41,10 @@ class Telemetry:
     detect_cycles: Dict[int, int] = field(default_factory=dict)
     diverges: int = 0
     converges: int = 0
+    #: Budget breaches observed during the run (kind/limit/actual/cycle).
+    budget_breaches: List[Dict[str, object]] = field(default_factory=list)
+    #: Engine-ladder degradations recorded through the tracer.
+    fallbacks: List[Dict[str, object]] = field(default_factory=list)
 
     # -- derived views ---------------------------------------------------
 
@@ -92,4 +96,6 @@ class Telemetry:
             "drop_timeline": {
                 str(cycle): count for cycle, count in sorted(self.drop_cycles.items())
             },
+            "budget_breaches": [dict(b) for b in self.budget_breaches],
+            "fallbacks": [dict(f) for f in self.fallbacks],
         }

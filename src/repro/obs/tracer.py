@@ -83,6 +83,14 @@ class Tracer:
     def drop(self, fid: int, cycle: int) -> None:
         """Fault *fid* was dropped from further simulation."""
 
+    # -- resilience (see repro.robust) ---------------------------------
+
+    def budget_breach(self, kind: str, limit: float, actual: float) -> None:
+        """A run budget (*kind*: wall/cycles/memory) was exceeded."""
+
+    def fallback(self, engine: str, to: str, reason: str) -> None:
+        """The engine ladder degraded from *engine* to *to*."""
+
     # -- results --------------------------------------------------------
 
     def telemetry(self):
@@ -127,6 +135,9 @@ class RecordingTracer(Tracer):
         self.detect_cycles: Dict[int, int] = {}
         self.diverges = 0
         self.converges = 0
+        #: Budget breaches and engine-ladder fallbacks, in event order.
+        self.budget_breaches: List[Dict[str, object]] = []
+        self.fallbacks: List[Dict[str, object]] = []
         #: Flushed per-cycle metric rows (see :meth:`cycle_end`).
         self.cycles: List[Dict[str, object]] = []
         #: The JSONL trace stream (dicts; see repro.obs.export).
@@ -140,8 +151,8 @@ class RecordingTracer(Tracer):
 
     # -- internals ------------------------------------------------------
 
-    def _emit(self, kind: str, **fields) -> None:
-        record: Dict[str, object] = {"t": kind, "cycle": self._current_cycle}
+    def _emit(self, record_type: str, **fields) -> None:
+        record: Dict[str, object] = {"t": record_type, "cycle": self._current_cycle}
         record.update(fields)
         self.records.append(record)
 
@@ -258,6 +269,19 @@ class RecordingTracer(Tracer):
         self._cycle_drops += 1
         self._emit("drop", fid=fid)
 
+    # -- resilience ----------------------------------------------------
+
+    def budget_breach(self, kind: str, limit: float, actual: float) -> None:
+        breach = {"kind": kind, "limit": limit, "actual": actual,
+                  "cycle": self._current_cycle}
+        self.budget_breaches.append(breach)
+        self._emit("budget_breach", **breach)
+
+    def fallback(self, engine: str, to: str, reason: str) -> None:
+        record = {"engine": engine, "to": to, "reason": reason}
+        self.fallbacks.append(record)
+        self._emit("fallback", **record)
+
     # -- results --------------------------------------------------------
 
     def telemetry(self):
@@ -277,4 +301,6 @@ class RecordingTracer(Tracer):
             detect_cycles=dict(self.detect_cycles),
             diverges=self.diverges,
             converges=self.converges,
+            budget_breaches=[dict(b) for b in self.budget_breaches],
+            fallbacks=[dict(f) for f in self.fallbacks],
         )

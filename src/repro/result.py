@@ -11,7 +11,7 @@ of interpreter noise, and a memory model in the units the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.faults.model import Fault
 
@@ -87,6 +87,13 @@ class FaultSimResult:
     counters: WorkCounters = field(default_factory=WorkCounters)
     memory: MemoryStats = field(default_factory=MemoryStats)
     wall_seconds: float = 0.0
+    #: True when the run was stopped by a budget/watchdog before consuming
+    #: the whole test sequence; ``truncation_reason`` says which limit hit.
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
+    #: Engine-ladder degradations behind this result, oldest first: dicts
+    #: with ``engine``, ``to``, ``reason`` (see ``repro.robust.ladder``).
+    fallbacks: List[dict] = field(default_factory=list)
     #: Recorded run telemetry (:class:`repro.obs.Telemetry`) when the run
     #: was traced with a recording tracer; None otherwise.  Typed loosely
     #: so this module stays import-light (obs imports result, not back).
@@ -123,8 +130,16 @@ class FaultSimResult:
         return [fault for fault in universe if fault not in self.detected]
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.engine}: {self.num_detected}/{self.num_faults} faults "
             f"({100.0 * self.coverage:.2f}%) in {self.num_vectors} vectors, "
             f"{self.wall_seconds:.3f}s, peak {self.memory.peak_megabytes:.3f} MB"
         )
+        if self.truncated:
+            text += f" [truncated: {self.truncation_reason}]"
+        if self.fallbacks:
+            steps = " -> ".join(
+                [self.fallbacks[0]["engine"]] + [f["to"] for f in self.fallbacks]
+            )
+            text += f" [degraded: {steps}]"
+        return text

@@ -1,0 +1,86 @@
+"""Run budgets and the per-cycle watchdog every engine consults.
+
+A :class:`Budget` bounds one simulation run along three axes — wall-clock
+seconds, clock cycles, and modelled fault-element memory (the
+:class:`repro.result.MemoryStats` peak, i.e. the paper's units, not Python
+heap bytes).  Engines check the budget between cycles; on a breach they
+stop *cleanly*: the partial :class:`repro.result.FaultSimResult` comes back
+with ``truncated=True`` and a human-readable ``truncation_reason`` instead
+of the run hanging or dying, and the breach is reported through the run's
+:class:`repro.obs.Tracer` (``budget_breach`` hook).
+
+Cycle granularity is the honest contract for a single-threaded pure-Python
+engine: a breach is noticed at the next cycle boundary, so one cycle may
+overshoot the wall-clock limit, but no partial-cycle state ever leaks into
+the result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BudgetBreach:
+    """One exceeded limit: which axis, the limit, and the observed value."""
+
+    kind: str  # "wall" | "cycles" | "memory"
+    limit: float
+    actual: float
+
+    def describe(self) -> str:
+        if self.kind == "wall":
+            return f"wall-clock budget exceeded ({self.actual:.3f}s > {self.limit:.3f}s)"
+        if self.kind == "cycles":
+            return f"cycle budget exceeded ({int(self.actual)} >= {int(self.limit)})"
+        return (
+            f"memory budget exceeded ({int(self.actual)} > {int(self.limit)} "
+            f"modelled bytes)"
+        )
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-run resource limits.  ``None`` on any axis means unlimited."""
+
+    max_wall_seconds: Optional[float] = None
+    max_cycles: Optional[int] = None
+    max_memory_bytes: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return any(
+            limit is not None
+            for limit in (self.max_wall_seconds, self.max_cycles, self.max_memory_bytes)
+        )
+
+    def start(self) -> "BudgetClock":
+        """Arm the budget against the current wall clock."""
+        return BudgetClock(self, time.perf_counter())
+
+
+class BudgetClock:
+    """An armed budget: call :meth:`check` at every cycle boundary."""
+
+    def __init__(self, budget: Budget, started: float) -> None:
+        self.budget = budget
+        self.started = started
+
+    def check(self, cycles_done: int, memory_bytes: int) -> Optional[BudgetBreach]:
+        """The first breached limit, or None while everything is in budget.
+
+        ``cycles_done`` counts cycles already simulated (so ``max_cycles=n``
+        admits exactly *n* cycles); ``memory_bytes`` is the engine's current
+        modelled peak.
+        """
+        budget = self.budget
+        if budget.max_cycles is not None and cycles_done >= budget.max_cycles:
+            return BudgetBreach("cycles", budget.max_cycles, cycles_done)
+        if budget.max_memory_bytes is not None and memory_bytes > budget.max_memory_bytes:
+            return BudgetBreach("memory", budget.max_memory_bytes, memory_bytes)
+        if budget.max_wall_seconds is not None:
+            elapsed = time.perf_counter() - self.started
+            if elapsed > budget.max_wall_seconds:
+                return BudgetBreach("wall", budget.max_wall_seconds, elapsed)
+        return None

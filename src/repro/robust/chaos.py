@@ -1,0 +1,192 @@
+"""Chaos injection for the resilience subsystem's own tests.
+
+Each class here breaks the simulator (or its surroundings) in one
+specific, controlled way, so the test suite can assert that the guards
+actually guard:
+
+* :class:`HookBombTracer` — raises from a tracer hook after N calls;
+  :class:`repro.robust.guards.GuardedTracer` must contain the blast.
+* :class:`EventDropChaos` — silently discards every Nth propagation
+  event, the classic lost-update corruption; the engine ladder's serial
+  spot-check must notice the wrong detections.
+* :class:`ElementCorruptionChaos` — writes an illegal logic value into a
+  live fault element at a chosen cycle; either the invariant checker
+  flags it or the engine crashes on the poisoned value, and the ladder
+  must recover either way.
+* :func:`truncate_file` — chops the tail off a checkpoint so the
+  integrity check in :func:`repro.robust.checkpoint.read_checkpoint`
+  must refuse it with a clean diagnostic.
+
+None of this is reachable from production paths: the only way to run a
+chaotic engine is to pass one of these factories explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.concurrent.options import SimOptions
+from repro.obs.tracer import Tracer
+
+
+class ChaosError(RuntimeError):
+    """Raised by injected failures, so tests can tell chaos from real bugs."""
+
+
+class HookBombTracer(Tracer):
+    """A tracer that detonates on its Nth hook invocation.
+
+    Models a buggy observer (a plotting callback, a flaky log shipper).
+    Wrap it in :class:`repro.robust.guards.GuardedTracer` and the
+    simulation must complete with the tracer disarmed, not die.
+    """
+
+    enabled = True
+
+    def __init__(self, detonate_after: int = 10) -> None:
+        self.detonate_after = detonate_after
+        self.calls = 0
+
+    def _tick(self) -> None:
+        self.calls += 1
+        if self.calls >= self.detonate_after:
+            raise ChaosError(f"tracer hook bomb after {self.calls} calls")
+
+    # Every hook the engines fire goes through the same fuse.
+    def run_start(self, engine: str, circuit_name: str) -> None:
+        self._tick()
+
+    def run_end(self, wall_seconds: float) -> None:
+        self._tick()
+
+    def cycle_start(self, cycle: int) -> None:
+        self._tick()
+
+    def cycle_end(self, cycle: int, **stats) -> None:
+        self._tick()
+
+    def phase_time(self, phase: str, seconds: float) -> None:
+        self._tick()
+
+    def good_evals(self, gate: int, count: int = 1) -> None:
+        self._tick()
+
+    def fault_evals(self, gate: int, count: int = 1) -> None:
+        self._tick()
+
+    def element_visits(self, gate: int, count: int = 1) -> None:
+        self._tick()
+
+    def event(self, gate: int) -> None:
+        self._tick()
+
+    def scheduled(self, gate: int, level: int) -> None:
+        self._tick()
+
+    def diverge(self, gate: int, fid: int, visible: bool) -> None:
+        self._tick()
+
+    def converge(self, gate: int, fid: int) -> None:
+        self._tick()
+
+    def detect(self, fid: int, cycle: int, potential: bool = False) -> None:
+        self._tick()
+
+    def drop(self, fid: int, cycle: int) -> None:
+        self._tick()
+
+    def budget_breach(self, kind: str, limit: float, actual: float) -> None:
+        self._tick()
+
+    def fallback(self, engine: str, to: str, reason: str) -> None:
+        self._tick()
+
+
+class EventDropChaos(ConcurrentFaultSimulator):
+    """A concurrent engine that loses every Nth fault-propagation event.
+
+    Dropped events mean gates that should have been rescheduled are not,
+    so fault effects stall mid-network and the detected-fault map comes
+    out wrong — silently.  This is exactly the corruption class the
+    engine ladder's serial spot-check exists to catch.
+    """
+
+    def __init__(self, *args, drop_every: int = 3, **kwargs) -> None:
+        self._drop_every = drop_every
+        self._event_count = 0
+        super().__init__(*args, **kwargs)
+
+    def _emit_event(self, gate_index: int) -> None:
+        self._event_count += 1
+        if self._event_count % self._drop_every == 0:
+            return  # the event vanishes: no fanout is scheduled
+        super()._emit_event(gate_index)
+
+
+class ElementCorruptionChaos(ConcurrentFaultSimulator):
+    """A concurrent engine that poisons one fault element per cycle.
+
+    From ``corrupt_at_cycle`` on, every cycle ends with the first visible
+    element found holding an out-of-domain logic value (re-applied each
+    cycle: normal list churn may overwrite or converge a single poisoned
+    element away, and a corruptor that heals itself tests nothing).
+    Depending on circuit activity the poison either sits until
+    :func:`repro.robust.guards.verify_invariants` flags it or crashes a
+    later table lookup (illegal value used as a packed index); the engine
+    ladder must recover from both.
+    """
+
+    ILLEGAL_VALUE = 9  # outside {ZERO, ONE, X}
+
+    def __init__(self, *args, corrupt_at_cycle: int = 2, **kwargs) -> None:
+        self._corrupt_at_cycle = corrupt_at_cycle
+        self.corrupted: Optional[tuple] = None
+        super().__init__(*args, **kwargs)
+
+    def step(self, vector):
+        newly = super().step(vector)
+        if self.cycle >= self._corrupt_at_cycle:
+            for gate_index, bucket in enumerate(self.vis):
+                if bucket:
+                    fid = next(iter(bucket))
+                    bucket[fid] = self.ILLEGAL_VALUE
+                    self.corrupted = (gate_index, fid)
+                    break
+        return newly
+
+
+def chaos_simulator_factory(kind: str, sabotage_engine: str = "csim-MV", **params):
+    """A ``simulator_factory`` for :func:`repro.robust.ladder.run_with_ladder`
+    that plants a chaotic engine on one rung and leaves the rest honest.
+
+    ``kind`` is ``"drop-events"`` or ``"corrupt-element"``; ``params`` are
+    forwarded to the chaos class.  Rungs other than ``sabotage_engine``
+    return ``None``, falling through to the default construction.
+    """
+    classes = {
+        "drop-events": EventDropChaos,
+        "corrupt-element": ElementCorruptionChaos,
+    }
+    if kind not in classes:
+        raise ValueError(f"unknown chaos kind {kind!r}; choose from {sorted(classes)}")
+    chaos_class = classes[kind]
+
+    def factory(engine, circuit, faults, tracer):
+        if engine != sabotage_engine:
+            return None
+        options = SimOptions(
+            split_lists="V" in engine, use_macros="M" in engine
+        )
+        return chaos_class(circuit, faults, options, tracer=tracer, **params)
+
+    return factory
+
+
+def truncate_file(path: str, keep_bytes: int) -> None:
+    """Chop *path* down to its first ``keep_bytes`` bytes (crash-mid-write
+    simulation for checkpoint integrity tests)."""
+    size = os.path.getsize(path)
+    with open(path, "rb+") as handle:
+        handle.truncate(min(keep_bytes, size))

@@ -1,0 +1,255 @@
+"""The resilient campaign runner: checkpointed, budgeted, interruptible.
+
+Two shapes of campaign live here:
+
+* :func:`run_checkpointed` — one engine over one test sequence, with
+  periodic durable checkpoints (engine ``snapshot()`` + cycle index +
+  config fingerprint), budget enforcement at every cycle boundary, and
+  Ctrl-C handling that flushes a final checkpoint at a clean cycle
+  boundary before raising :class:`CampaignInterrupted`.  A resumed run is
+  bit-identical to an uninterrupted one: the snapshot carries detections,
+  work counters and the memory model, so only ``wall_seconds`` differs.
+* :class:`TableCampaign` — the paper-table campaign (many circuits ×
+  engines).  Progress is durable per completed cell; resuming skips
+  finished cells and recomputes nothing.
+
+Both refuse to resume from a checkpoint whose config fingerprint does not
+match the requested campaign — silently resuming a *different* campaign
+would be worse than starting over.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from typing import Callable, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.concurrent.options import SimOptions
+from repro.concurrent.transition_engine import TransitionFaultSimulator
+from repro.harness.runner import make_stuck_at_simulator
+from repro.patterns.vectors import TestSequence
+from repro.result import FaultSimResult
+from repro.robust.budget import Budget
+from repro.robust.checkpoint import (
+    CampaignInterrupted,
+    Checkpoint,
+    CheckpointError,
+    circuit_fingerprint,
+    config_fingerprint,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+#: Default cycles between periodic checkpoint writes.
+DEFAULT_CHECKPOINT_EVERY = 64
+
+
+def run_fingerprint(
+    circuit: Circuit, tests: TestSequence, label: str, faults, transition: bool
+) -> str:
+    """Fingerprint binding a single-run checkpoint to its configuration."""
+    return config_fingerprint(
+        "run",
+        "transition" if transition else "stuck-at",
+        label,
+        circuit_fingerprint(circuit),
+        tuple(tests.vectors),
+        tuple(faults),
+    )
+
+
+def _build_simulator(circuit, engine, transition, faults, options, tracer):
+    if transition:
+        simulator = TransitionFaultSimulator(
+            circuit, faults, options or SimOptions(split_lists=True), tracer=tracer
+        )
+        label = "csim-TV" if simulator.options.split_lists else "csim-T"
+        return simulator, label
+    simulator = make_stuck_at_simulator(
+        circuit, engine, faults, options=options, tracer=tracer
+    )
+    label = "PROOFS" if engine == "PROOFS" else simulator.options.variant_name
+    return simulator, label
+
+
+def run_checkpointed(
+    circuit: Circuit,
+    tests: TestSequence,
+    engine: str = "csim-MV",
+    *,
+    transition: bool = False,
+    faults=None,
+    options: Optional[SimOptions] = None,
+    tracer=None,
+    budget: Optional[Budget] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+) -> FaultSimResult:
+    """Run one fault-simulation campaign with durable progress.
+
+    With ``checkpoint_path`` set, the engine state is snapshotted to disk
+    every ``checkpoint_every`` cycles (atomically; see
+    :mod:`repro.robust.checkpoint`) and once more on interrupt or budget
+    truncation.  With ``resume`` the run restarts from the checkpoint and
+    produces a result identical — detections, counters, memory — to a run
+    that was never interrupted.
+
+    Ctrl-C is latched and honoured at the next cycle boundary, so the
+    final checkpoint always captures a clean state; the exception raised
+    is :class:`CampaignInterrupted` (a ``KeyboardInterrupt``), carrying
+    the checkpoint path for the caller's resume hint.
+    """
+    simulator, label = _build_simulator(
+        circuit, engine, transition, faults, options, tracer
+    )
+    fingerprint = run_fingerprint(circuit, tests, label, simulator.faults, transition)
+
+    start_cycle = 0
+    if resume:
+        if checkpoint_path is None:
+            raise CheckpointError("resume requested without a checkpoint path")
+        saved = read_checkpoint(checkpoint_path, expect_fingerprint=fingerprint)
+        if saved.kind != "run":
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path!r} is a {saved.kind!r} checkpoint, "
+                "not a single-run checkpoint"
+            )
+        simulator.restore(saved.payload["state"])
+        start_cycle = saved.payload["cycle"]
+
+    def save(cycle: int) -> None:
+        if checkpoint_path is None:
+            return
+        write_checkpoint(
+            checkpoint_path,
+            Checkpoint(
+                "run",
+                fingerprint,
+                {"cycle": cycle, "state": simulator.snapshot(), "engine": label},
+            ),
+        )
+
+    # Latch SIGINT so interrupts land between cycles: the final checkpoint
+    # must never capture a half-simulated cycle.  Falls back to plain
+    # KeyboardInterrupt handling off the main thread.
+    interrupted = {"hit": False}
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(
+            signal.SIGINT, lambda signum, frame: interrupted.update(hit=True)
+        )
+    except ValueError:
+        previous_handler = None
+
+    trace = tracer
+    if trace is not None:
+        trace.run_start(label, circuit.name)
+    clock = budget.start() if budget else None
+    started = time.perf_counter()
+    truncation_reason = None
+    vectors = tests.vectors
+    try:
+        for index in range(start_cycle, len(vectors)):
+            if interrupted["hit"]:
+                save(simulator.cycle)
+                raise CampaignInterrupted(checkpoint_path, simulator.cycle)
+            if clock is not None:
+                breach = clock.check(
+                    simulator.counters.cycles, simulator.memory.peak_bytes
+                )
+                if breach is not None:
+                    truncation_reason = breach.describe()
+                    if trace is not None:
+                        trace.budget_breach(breach.kind, breach.limit, breach.actual)
+                    break
+            simulator.step(vectors[index])
+            applied = index + 1
+            if (
+                checkpoint_path is not None
+                and checkpoint_every
+                and (applied - start_cycle) % checkpoint_every == 0
+                and applied < len(vectors)
+            ):
+                save(applied)
+    except KeyboardInterrupt:
+        # Interrupt delivered outside the latched window (non-main thread,
+        # or raised synchronously from inside the engine): the in-memory
+        # state may be mid-cycle, so no snapshot is taken here — the last
+        # periodic checkpoint on disk remains the resume point.
+        raise CampaignInterrupted(checkpoint_path, simulator.cycle) from None
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+
+    save(simulator.cycle)
+    elapsed = time.perf_counter() - started
+    result = FaultSimResult(
+        engine=label,
+        circuit_name=circuit.name,
+        num_faults=len(simulator.faults),
+        num_vectors=simulator.counters.cycles,
+        detected=dict(simulator.detected),
+        potentially_detected=dict(simulator.potentially_detected),
+        counters=simulator.counters,
+        memory=simulator.memory,
+        wall_seconds=elapsed,
+        truncated=truncation_reason is not None,
+        truncation_reason=truncation_reason,
+    )
+    if trace is not None:
+        trace.run_end(elapsed)
+        result.telemetry = trace.telemetry()
+    return result
+
+
+class TableCampaign:
+    """Durable progress for a multi-cell campaign (the paper tables).
+
+    Each completed cell — one circuit × table computation — is written to
+    the checkpoint as soon as it finishes; a resumed campaign replays
+    finished cells from disk and computes only the remainder.  On Ctrl-C
+    the cells completed so far are flushed and
+    :class:`CampaignInterrupted` carries the resume location.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        resume: bool = False,
+        fingerprint: str = "",
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.cells: dict = {}
+        if resume:
+            if path is None:
+                raise CheckpointError("resume requested without a checkpoint path")
+            saved = read_checkpoint(path, expect_fingerprint=fingerprint)
+            if saved.kind != "tables":
+                raise CheckpointError(
+                    f"checkpoint {path!r} is a {saved.kind!r} checkpoint, "
+                    "not a table campaign"
+                )
+            self.cells = dict(saved.payload["cells"])
+
+    def save(self) -> None:
+        if self.path is not None:
+            write_checkpoint(
+                self.path,
+                Checkpoint("tables", self.fingerprint, {"cells": dict(self.cells)}),
+            )
+
+    def cell(self, key, compute: Callable[[], object]):
+        """The cached value for *key*, or ``compute()`` recorded durably."""
+        if key in self.cells:
+            return self.cells[key]
+        try:
+            value = compute()
+        except KeyboardInterrupt:
+            self.save()
+            raise CampaignInterrupted(self.path, len(self.cells)) from None
+        self.cells[key] = value
+        self.save()
+        return value

@@ -1,8 +1,18 @@
 """Command-line interface tests (in-process, via cli.main)."""
 
+import re
+
 import pytest
 
 from repro.cli import main
+
+
+def _coverage_line(text):
+    """The engine-independent heart of a run summary: detections,
+    fault count, coverage and vector count (wall time excluded)."""
+    match = re.search(r"(\d+/\d+ faults \([\d.]+%\) in \d+ vectors)", text)
+    assert match, f"no summary line in {text!r}"
+    return match.group(1)
 
 
 class TestStats:
@@ -75,6 +85,139 @@ class TestParser:
         with pytest.raises(SystemExit):
             main([])
 
-    def test_unknown_circuit_raises(self):
-        with pytest.raises(KeyError):
-            main(["stats", "s99999"])
+    def test_unknown_circuit_exits_2(self, capsys):
+        assert main(["stats", "s99999"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "s99999" in err
+
+
+class TestErrorHandling:
+    """Anticipated failures exit 2 with a one-line message, no traceback."""
+
+    def test_missing_tests_file_exits_2(self, capsys):
+        assert main(["simulate", "s27", "--tests", "/no/such/file.vec"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "file.vec" in err
+
+    def test_bad_bench_file_exits_2_with_line_context(self, tmp_path, capsys):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\ng = FROB(a)\nOUTPUT(g)\n")
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "broken:2:" in err  # file:line context survives to the user
+
+    def test_resume_without_checkpoint_exits_2(self, capsys):
+        assert main(["simulate", "s27", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_ladder_and_checkpoint_exit_2(self, tmp_path, capsys):
+        assert main(["simulate", "s27", "--ladder",
+                     "--checkpoint", str(tmp_path / "ck.pkl")]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_resume_from_corrupt_checkpoint_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "ck.pkl"
+        assert main(["simulate", "s27", "--random-patterns", "40",
+                     "--checkpoint", str(path)]) == 0
+        capsys.readouterr()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert main(["simulate", "s27", "--random-patterns", "40",
+                     "--checkpoint", str(path), "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "truncated or corrupt" in err
+
+
+class TestCheckpointFlow:
+    def test_truncated_then_resumed_matches_straight_run(self, tmp_path, capsys):
+        base = ["simulate", "s27", "--random-patterns", "60", "--seed", "7"]
+        assert main(base) == 0
+        straight = _coverage_line(capsys.readouterr().out)
+
+        path = str(tmp_path / "ck.pkl")
+        assert main(base + ["--checkpoint", path, "--max-cycles", "20"]) == 0
+        first_leg = capsys.readouterr().out
+        assert "[truncated: cycle budget" in first_leg
+
+        assert main(base + ["--checkpoint", path, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "truncated" not in resumed
+        assert _coverage_line(resumed) == straight
+
+    def test_transition_checkpoint_roundtrip(self, tmp_path, capsys):
+        base = ["transition", "s27", "--random-patterns", "40"]
+        assert main(base) == 0
+        straight = _coverage_line(capsys.readouterr().out)
+
+        path = str(tmp_path / "ck.pkl")
+        assert main(base + ["--checkpoint", path, "--max-cycles", "15"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--checkpoint", path, "--resume"]) == 0
+        assert _coverage_line(capsys.readouterr().out) == straight
+
+    def test_interrupt_exits_130_with_resume_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.concurrent.engine import ConcurrentFaultSimulator
+
+        path = str(tmp_path / "ck.pkl")
+        real_step = ConcurrentFaultSimulator.step
+        calls = {"n": 0}
+
+        def interrupting_step(self, vector):
+            calls["n"] += 1
+            if calls["n"] == 15:
+                raise KeyboardInterrupt
+            return real_step(self, vector)
+
+        monkeypatch.setattr(ConcurrentFaultSimulator, "step", interrupting_step)
+        argv = ["simulate", "s27", "--random-patterns", "60", "--seed", "7",
+                "--checkpoint", path, "--checkpoint-every", "4"]
+        assert main(argv) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "resume with" in err
+        assert "--resume" in err
+
+        monkeypatch.setattr(ConcurrentFaultSimulator, "step", real_step)
+        assert main(["simulate", "s27", "--random-patterns", "60", "--seed", "7"]) == 0
+        straight = _coverage_line(capsys.readouterr().out)
+        assert main(argv + ["--resume"]) == 0
+        assert _coverage_line(capsys.readouterr().out) == straight
+
+    def test_interrupt_without_checkpoint_exits_130(self, capsys, monkeypatch):
+        from repro.concurrent.engine import ConcurrentFaultSimulator
+
+        def exploding_step(self, vector):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ConcurrentFaultSimulator, "step", exploding_step)
+        assert main(["simulate", "s27", "--random-patterns", "20"]) == 130
+        assert "progress lost" in capsys.readouterr().err
+
+
+class TestBudgetsAndLadder:
+    def test_max_cycles_flags_truncation(self, capsys):
+        assert main(["simulate", "s27", "--random-patterns", "50",
+                     "--max-cycles", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "in 10 vectors" in out
+        assert "[truncated: cycle budget" in out
+
+    def test_ladder_clean_run(self, capsys):
+        assert main(["simulate", "s27", "--random-patterns", "50", "--seed", "3",
+                     "--ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" not in out  # honest engines pass the audit
+
+    def test_tables_checkpoint_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "tables.pkl")
+        base = ["tables", "--quick", "--scale", "0.05", "--deterministic"]
+        assert main(base + ["--checkpoint", path]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--checkpoint", path, "--resume"]) == 0
+        assert capsys.readouterr().out == first

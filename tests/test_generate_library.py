@@ -10,6 +10,7 @@ from repro.circuit.library import (
     available_circuits,
     load,
 )
+from repro.circuit.netlist import NetlistError
 from repro.circuit.stats import circuit_stats
 from repro.logic.tables import GateType
 
@@ -96,7 +97,7 @@ class TestLibrary:
         assert small.num_combinational < full.num_combinational / 5
 
     def test_unknown_name_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(NetlistError):
             load("s99999")
 
     def test_available_circuits_sorted_small_first(self):

@@ -1,0 +1,155 @@
+"""snapshot()/restore() round-trips on the transition and event engines.
+
+The stuck-at engine's round-trip is covered by the checkpoint tests in
+``test_robust.py``; these tests close the gap for the other two stateful
+engines, asserting the contract the checkpoint subsystem depends on: a
+restored simulator continues *bit-identically* — detections, work
+counters and memory statistics included — to one that was never
+interrupted.
+"""
+
+import copy
+
+import pytest
+
+from repro.circuit.library import load
+from repro.concurrent.event_engine import ConcurrentEventFaultSimulator
+from repro.concurrent.options import SimOptions
+from repro.concurrent.transition_engine import TransitionFaultSimulator
+from repro.harness.runner import workload_tests
+
+PERIOD = 40
+
+
+@pytest.fixture(scope="module")
+def s27():
+    return load("s27")
+
+
+@pytest.fixture(scope="module")
+def s27_tests():
+    return workload_tests("s27")
+
+
+def _assert_same_state(left, right):
+    """Full-state equality: results, counters, and memory statistics."""
+    assert left.cycle == right.cycle
+    assert left.good == right.good
+    assert left.vis == right.vis
+    assert left.detected == right.detected
+    assert left.potentially_detected == right.potentially_detected
+    assert left.counters == right.counters
+    assert left.memory.peak_bytes == right.memory.peak_bytes
+    assert left.memory.peak_elements == right.memory.peak_elements
+
+
+class TestTransitionEngine:
+    @pytest.mark.parametrize("split", [False, True])
+    def test_mid_run_roundtrip(self, s27, s27_tests, split):
+        options = SimOptions(split_lists=split)
+        straight = TransitionFaultSimulator(s27, options=options)
+        resumed = TransitionFaultSimulator(s27, options=options)
+        vectors = s27_tests.vectors
+
+        for vector in vectors[:7]:
+            straight.step(vector)
+            resumed.step(vector)
+
+        state = resumed.snapshot()
+        # Drive the to-be-restored simulator off into the weeds first, so
+        # the test proves restore() rolls back rather than merely not
+        # disturbing an already-identical state.
+        for vector in vectors[7:12]:
+            resumed.step(vector)
+        resumed.restore(state)
+        _assert_same_state(straight, resumed)
+
+        for vector in vectors[7:]:
+            straight.step(vector)
+            resumed.step(vector)
+        _assert_same_state(straight, resumed)
+
+    def test_snapshot_is_isolated_from_later_mutation(self, s27, s27_tests):
+        simulator = TransitionFaultSimulator(s27)
+        for vector in s27_tests.vectors[:5]:
+            simulator.step(vector)
+        state = simulator.snapshot()
+        frozen = copy.deepcopy(state)
+        for vector in s27_tests.vectors[5:10]:
+            simulator.step(vector)
+        # Stepping on must not reach back into the captured state.
+        assert state["cycle"] == frozen["cycle"]
+        assert state["vis"] == frozen["vis"]
+        assert state["detected"] == frozen["detected"]
+        assert state["counters"] == frozen["counters"]
+
+    def test_counters_and_memory_restored_exactly(self, s27, s27_tests):
+        simulator = TransitionFaultSimulator(s27)
+        for vector in s27_tests.vectors[:6]:
+            simulator.step(vector)
+        counters = copy.copy(simulator.counters)
+        peak = simulator.memory.peak_bytes
+        state = simulator.snapshot()
+        for vector in s27_tests.vectors[6:10]:
+            simulator.step(vector)
+        assert simulator.counters != counters  # work really happened
+        simulator.restore(state)
+        assert simulator.counters == counters
+        assert simulator.memory.peak_bytes == peak
+
+
+class TestEventEngine:
+    def test_mid_run_roundtrip(self, s27, s27_tests):
+        straight = ConcurrentEventFaultSimulator(s27)
+        resumed = ConcurrentEventFaultSimulator(s27)
+        vectors = s27_tests.vectors
+
+        for vector in vectors[:7]:
+            straight.run_cycle(vector, PERIOD)
+            resumed.run_cycle(vector, PERIOD)
+
+        state = resumed.snapshot()
+        for vector in vectors[7:12]:
+            resumed.run_cycle(vector, PERIOD)
+        resumed.restore(state)
+
+        for vector in vectors[7:]:
+            straight.run_cycle(vector, PERIOD)
+            resumed.run_cycle(vector, PERIOD)
+
+        _assert_same_state(straight, resumed)
+        # Event-engine specifics: simulated time and the timing wheel.
+        assert straight.time == resumed.time
+
+    def test_timing_wheel_survives_roundtrip(self, s27, s27_tests):
+        """Snapshot mid-run while events may be pending, restore into a
+        *fresh* simulator, and both must finish identically."""
+        donor = ConcurrentEventFaultSimulator(s27)
+        for vector in s27_tests.vectors[:9]:
+            donor.run_cycle(vector, PERIOD)
+        state = donor.snapshot()
+
+        heir = ConcurrentEventFaultSimulator(s27)
+        heir.restore(state)
+        _assert_same_state(donor, heir)
+
+        for vector in s27_tests.vectors[9:]:
+            donor.run_cycle(vector, PERIOD)
+            heir.run_cycle(vector, PERIOD)
+        _assert_same_state(donor, heir)
+
+    def test_counters_and_memory_restored_exactly(self, s27, s27_tests):
+        simulator = ConcurrentEventFaultSimulator(s27)
+        for vector in s27_tests.vectors[:6]:
+            simulator.run_cycle(vector, PERIOD)
+        counters = copy.copy(simulator.counters)
+        peak_bytes = simulator.memory.peak_bytes
+        peak_elements = simulator.memory.peak_elements
+        state = simulator.snapshot()
+        for vector in s27_tests.vectors[6:10]:
+            simulator.run_cycle(vector, PERIOD)
+        assert simulator.counters != counters
+        simulator.restore(state)
+        assert simulator.counters == counters
+        assert simulator.memory.peak_bytes == peak_bytes
+        assert simulator.memory.peak_elements == peak_elements
