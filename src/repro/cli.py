@@ -27,6 +27,7 @@ from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
 from repro.harness.reporting import format_table
 from repro.harness.runner import ENGINE_NAMES, run_stuck_at, run_transition
+from repro.parallel.sharding import STRATEGIES
 from repro.patterns.atpg import generate_tests
 from repro.patterns.random_gen import random_sequence
 from repro.patterns.vectors import format_vectors, parse_vectors
@@ -149,6 +150,34 @@ def _check_robust_args(args) -> None:
         raise ValueError("--resume requires --checkpoint FILE")
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="K",
+        help="shard the fault universe over K worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--shard-strategy",
+        choices=STRATEGIES,
+        default="round-robin",
+        help="fault partition strategy under --jobs (default round-robin)",
+    )
+
+
+def _check_parallel_args(args) -> None:
+    if args.jobs < 1:
+        raise ValueError("--jobs must be >= 1")
+    if args.jobs > 1 and getattr(args, "trace", None):
+        raise ValueError(
+            "--trace records per-gate events that cannot cross the process "
+            "boundary; use --profile (merged telemetry) or --jobs 1"
+        )
+    if args.jobs > 1 and getattr(args, "ladder", False):
+        raise ValueError("--ladder audits a single engine; use --jobs 1")
+
+
 def _add_test_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tests", help="vector file (one 0/1/X vector per line)")
     parser.add_argument(
@@ -186,6 +215,7 @@ def cmd_stats(args) -> int:
 
 def cmd_simulate(args) -> int:
     _check_robust_args(args)
+    _check_parallel_args(args)
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
@@ -194,6 +224,21 @@ def cmd_simulate(args) -> int:
         if args.checkpoint:
             raise ValueError("--ladder and --checkpoint are mutually exclusive")
         result = run_with_ladder(circuit, tests, tracer=tracer, budget=budget)
+    elif args.checkpoint and args.jobs > 1:
+        from repro.parallel import run_parallel
+
+        result = run_parallel(
+            circuit,
+            tests,
+            args.engine,
+            jobs=args.jobs,
+            shard_strategy=args.shard_strategy,
+            budget=budget,
+            telemetry=args.profile,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
     elif args.checkpoint:
         result = run_checkpointed(
             circuit,
@@ -206,7 +251,15 @@ def cmd_simulate(args) -> int:
             checkpoint_every=args.checkpoint_every,
         )
     else:
-        result = run_stuck_at(circuit, tests, args.engine, tracer=tracer, budget=budget)
+        result = run_stuck_at(
+            circuit,
+            tests,
+            args.engine,
+            tracer=tracer,
+            budget=budget,
+            jobs=args.jobs,
+            shard_strategy=args.shard_strategy,
+        )
     print(result.summary())
     if args.verbose:
         from repro.faults.model import fault_name
@@ -219,11 +272,27 @@ def cmd_simulate(args) -> int:
 
 def cmd_transition(args) -> int:
     _check_robust_args(args)
+    _check_parallel_args(args)
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
     budget = _make_budget(args)
-    if args.checkpoint:
+    if args.checkpoint and args.jobs > 1:
+        from repro.parallel import run_parallel
+
+        result = run_parallel(
+            circuit,
+            tests,
+            transition=True,
+            jobs=args.jobs,
+            shard_strategy=args.shard_strategy,
+            budget=budget,
+            telemetry=args.profile,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
+    elif args.checkpoint:
         result = run_checkpointed(
             circuit,
             tests,
@@ -235,7 +304,14 @@ def cmd_transition(args) -> int:
             checkpoint_every=args.checkpoint_every,
         )
     else:
-        result = run_transition(circuit, tests, tracer=tracer, budget=budget)
+        result = run_transition(
+            circuit,
+            tests,
+            tracer=tracer,
+            budget=budget,
+            jobs=args.jobs,
+            shard_strategy=args.shard_strategy,
+        )
     print(result.summary())
     _emit_observability(args, result, circuit, tracer)
     return 0
@@ -263,6 +339,8 @@ def cmd_tables(args) -> int:
     from repro.harness import tables
 
     _check_robust_args(args)
+    if args.jobs < 1:
+        raise ValueError("--jobs must be >= 1")
     campaign = None
     if args.checkpoint:
         fingerprint = config_fingerprint(
@@ -277,6 +355,7 @@ def cmd_tables(args) -> int:
             quick=args.quick,
             campaign=campaign,
             deterministic=args.deterministic,
+            jobs=args.jobs,
         )
     )
     return 0
@@ -311,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(simulate)
     _add_robust_args(simulate)
+    _add_parallel_args(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     transition = commands.add_parser(
@@ -320,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_test_args(transition)
     _add_obs_args(transition)
     _add_robust_args(transition)
+    _add_parallel_args(transition)
     transition.set_defaults(handler=cmd_transition)
 
     gen = commands.add_parser(
@@ -349,6 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deterministic",
         action="store_true",
         help="zero the wall-clock columns so resumed output is byte-identical",
+    )
+    tables.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="K",
+        help="compute table cells in K worker processes (default 1)",
     )
     tables.set_defaults(handler=cmd_tables)
 

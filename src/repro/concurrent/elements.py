@@ -38,13 +38,18 @@ class Behavior(enum.Enum):
     TRANSITION = "transition"
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultDescriptor:
     """Global per-fault record shared by all of a fault's elements.
 
     ``fault`` is the user-facing fault definition on the *original* (flat)
     circuit; ``site_gate``/``pin`` locate the fault in the engine's working
     circuit, which differs from the original when macro extraction is on.
+
+    Slotted: a campaign holds one descriptor per fault for its whole
+    lifetime (tens of thousands on the larger circuits, per shard under
+    the parallel runner), so the per-instance ``__dict__`` is pure
+    overhead and attribute loads off slots are faster on the hot path.
     """
 
     fid: int

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.circuit.macro import extract_macros
 from repro.circuit.netlist import Circuit
@@ -59,6 +60,58 @@ from repro.logic.tables import (
 from repro.logic.values import ONE, X, ZERO
 from repro.obs.tracer import Tracer
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
+
+#: Shared per-circuit evaluation tables.  Every engine instance over the
+#: same working circuit uses byte-identical tables, so they are built once
+#: and shared (the tables are immutable tuples).  Keyed weakly: dropping
+#: the circuit drops its cache entry.  This matters for campaigns that
+#: construct many engines over one circuit — ablation sweeps, the engine
+#: ladder, and especially the parallel runner's one-engine-per-shard
+#: workers, where the tables would otherwise be rebuilt K times.
+_EVAL_TABLE_CACHE: "WeakKeyDictionary[Circuit, Tuple]" = WeakKeyDictionary()
+
+#: Shared macro transforms, keyed weakly by flat circuit then by the macro
+#: input cap.  ``extract_macros`` is deterministic and its result is
+#: read-only at simulation time, so instances can share one transform —
+#: which also makes their *working* circuits the same object, letting the
+#: evaluation-table cache above hit across csim-M/-MV instances.
+_MACRO_CACHE: "WeakKeyDictionary[Circuit, Dict[int, object]]" = WeakKeyDictionary()
+
+
+def shared_eval_tables(circuit: Circuit) -> Tuple[Optional[Tuple[int, ...]], ...]:
+    """Per-gate packed-input lookup tables for *circuit*, memoized.
+
+    ``None`` entries (sources and too-wide gates) take the list-based
+    fallback in :meth:`ConcurrentFaultSimulator._evaluate`.
+    """
+    tables = _EVAL_TABLE_CACHE.get(circuit)
+    if tables is None:
+        built: List[Optional[Tuple[int, ...]]] = []
+        for gate in circuit.gates:
+            if gate.gtype in (GateType.INPUT, GateType.DFF):
+                built.append(None)
+            elif gate.gtype is GateType.MACRO:
+                built.append(gate.table)
+            elif gate.arity <= MAX_TABLE_ARITY:
+                built.append(packed_table(gate.gtype, gate.arity))
+            else:
+                built.append(None)
+        tables = tuple(built)
+        _EVAL_TABLE_CACHE[circuit] = tables
+    return tables
+
+
+def shared_macro_transform(circuit: Circuit, macro_max_inputs: int):
+    """The macro transform of *circuit*, memoized per input cap."""
+    by_width = _MACRO_CACHE.get(circuit)
+    if by_width is None:
+        by_width = {}
+        _MACRO_CACHE[circuit] = by_width
+    transform = by_width.get(macro_max_inputs)
+    if transform is None:
+        transform = extract_macros(circuit, macro_max_inputs)
+        by_width[macro_max_inputs] = transform
+    return transform
 
 
 class ConcurrentFaultSimulator:
@@ -103,7 +156,7 @@ class ConcurrentFaultSimulator:
             self.macro = macro
             self.circuit = macro.circuit
         elif options.use_macros:
-            self.macro = extract_macros(circuit, options.macro_max_inputs)
+            self.macro = shared_macro_transform(circuit, options.macro_max_inputs)
             self.circuit = self.macro.circuit
         else:
             self.macro = None
@@ -113,21 +166,8 @@ class ConcurrentFaultSimulator:
         self.reset()
 
     def _build_eval_tables(self) -> None:
-        """Per-gate packed-input lookup tables for the hot path.
-
-        ``None`` entries (sources and too-wide gates) take the list-based
-        fallback in :meth:`_evaluate`.
-        """
-        self._eval_tables = []
-        for gate in self.circuit.gates:
-            if gate.gtype in (GateType.INPUT, GateType.DFF):
-                self._eval_tables.append(None)
-            elif gate.gtype is GateType.MACRO:
-                self._eval_tables.append(gate.table)
-            elif gate.arity <= MAX_TABLE_ARITY:
-                self._eval_tables.append(packed_table(gate.gtype, gate.arity))
-            else:
-                self._eval_tables.append(None)
+        """Attach the (shared, memoized) per-gate lookup tables."""
+        self._eval_tables = shared_eval_tables(self.circuit)
 
     # ------------------------------------------------------------------
     # construction
@@ -209,6 +249,11 @@ class ConcurrentFaultSimulator:
         # When not None, _evaluate records every gate it touches here (the
         # transition engine uses this to seed its second pass).
         self._record_evaluated: Optional[Set[int]] = None
+        # Reusable scratch for _candidates/_compute_ff_updates: one dict and
+        # one purge list serve every gate evaluation instead of fresh
+        # allocations per call.  Transient — never snapshotted.
+        self._scratch_candidates: Dict[int, bool] = {}
+        self._scratch_purge: List[Tuple[int, int]] = []
         for descriptor in self.descriptors:
             descriptor.detected = False
             descriptor.detect_cycle = None
@@ -496,6 +541,30 @@ class ConcurrentFaultSimulator:
             return gate.table[pack_inputs(inputs)]
         return evaluate(gate.gtype, inputs)
 
+    def _scan_bucket(
+        self,
+        source: int,
+        bucket: Dict[int, int],
+        candidates: Dict[int, bool],
+        purge: List[Tuple[int, int]],
+        drop: bool,
+    ) -> None:
+        """Collect one element list into *candidates* (detected -> *purge*)."""
+        self.counters.element_visits += len(bucket)
+        trace = self.tracer
+        if trace is not None:
+            trace.element_visits(source, len(bucket))
+        if drop:
+            descriptors = self.descriptors
+            for fid in bucket:
+                if descriptors[fid].detected:
+                    purge.append((source, fid))
+                else:
+                    candidates[fid] = True
+        else:
+            for fid in bucket:
+                candidates[fid] = True
+
     def _candidates(self, gate_index: int, fanin: Tuple[int, ...]) -> Dict[int, bool]:
         """Assemble the fault set to evaluate at this gate.
 
@@ -504,38 +573,35 @@ class ConcurrentFaultSimulator:
         avoid), the gate's own lists (for convergence), and the faults
         whose site is this gate.  Detected faults are dropped from the
         lists as they are encountered (event-driven dropping).
+
+        The returned dict is the engine's reusable scratch: it is valid
+        until the next ``_candidates`` call, which is exactly the lifetime
+        every caller needs (iterate once, then move to the next gate).
         """
         descriptors = self.descriptors
-        counters = self.counters
-        trace = self.tracer
         drop = self.options.drop_detected
         split = self.options.split_lists
-        candidates: Dict[int, bool] = {}
-        purge: List[Tuple[int, int]] = []
+        vis = self.vis
+        invis = self.invis
+        candidates = self._scratch_candidates
+        candidates.clear()
+        purge = self._scratch_purge
+        purge.clear()
 
-        buckets: List[Tuple[int, Dict[int, int]]] = []
         for source in fanin:
-            buckets.append((source, self.vis[source]))
+            bucket = vis[source]
+            if bucket:
+                self._scan_bucket(source, bucket, candidates, purge, drop)
             if not split:
-                buckets.append((source, self.invis[source]))
-        buckets.append((gate_index, self.vis[gate_index]))
-        buckets.append((gate_index, self.invis[gate_index]))
-
-        for source, bucket in buckets:
-            if not bucket:
-                continue
-            counters.element_visits += len(bucket)
-            if trace is not None:
-                trace.element_visits(source, len(bucket))
-            if drop:
-                for fid in bucket:
-                    if descriptors[fid].detected:
-                        purge.append((source, fid))
-                    else:
-                        candidates[fid] = True
-            else:
-                for fid in bucket:
-                    candidates[fid] = True
+                bucket = invis[source]
+                if bucket:
+                    self._scan_bucket(source, bucket, candidates, purge, drop)
+        bucket = vis[gate_index]
+        if bucket:
+            self._scan_bucket(gate_index, bucket, candidates, purge, drop)
+        bucket = invis[gate_index]
+        if bucket:
+            self._scan_bucket(gate_index, bucket, candidates, purge, drop)
         for fid in self.local_faults[gate_index]:
             if drop and descriptors[fid].detected:
                 continue
@@ -789,23 +855,20 @@ class ConcurrentFaultSimulator:
             old_q = good[ff_index]
             new_q = good[d_source]
             vis_here = self.vis[ff_index]
-            candidates: Dict[int, bool] = {}
-            purge: List[Tuple[int, int]] = []
+            candidates = self._scratch_candidates
+            candidates.clear()
+            purge = self._scratch_purge
+            purge.clear()
 
-            def scan(source: int, bucket: Dict[int, int]) -> None:
-                if trace is not None and bucket:
-                    trace.element_visits(source, len(bucket))
-                for fid in bucket:
-                    self.counters.element_visits += 1
-                    if drop and descriptors[fid].detected:
-                        purge.append((source, fid))
-                        continue
-                    candidates[fid] = True
-
-            scan(d_source, self.vis[d_source])
+            bucket = self.vis[d_source]
+            if bucket:
+                self._scan_bucket(d_source, bucket, candidates, purge, drop)
             if not split:
-                scan(d_source, self.invis[d_source])
-            scan(ff_index, vis_here)
+                bucket = self.invis[d_source]
+                if bucket:
+                    self._scan_bucket(d_source, bucket, candidates, purge, drop)
+            if vis_here:
+                self._scan_bucket(ff_index, vis_here, candidates, purge, drop)
             for fid in self.local_faults[ff_index]:
                 if drop and descriptors[fid].detected:
                     continue

@@ -71,6 +71,8 @@ def run_stuck_at(
     options: Optional[SimOptions] = None,
     tracer: Optional[Tracer] = None,
     budget=None,
+    jobs: int = 1,
+    shard_strategy: str = "round-robin",
 ) -> FaultSimResult:
     """Run one stuck-at engine over *tests*.
 
@@ -80,7 +82,27 @@ def run_stuck_at(
     oracle has no hook sites and ignores it.  A ``budget``
     (:class:`repro.robust.budget.Budget`) bounds the run; a breached run
     returns a result flagged ``truncated`` instead of hanging.
+
+    ``jobs > 1`` shards the fault universe over that many worker
+    processes (see :mod:`repro.parallel`); detections are bit-identical
+    to the single-process run.  A ``tracer`` cannot cross the process
+    boundary, so parallel runs record telemetry in every worker instead
+    and attach the merged telemetry to the result.
     """
+    if jobs > 1:
+        from repro.parallel.runner import run_parallel
+
+        return run_parallel(
+            circuit,
+            tests,
+            engine,
+            faults=faults,
+            options=options,
+            jobs=jobs,
+            shard_strategy=shard_strategy,
+            budget=budget,
+            telemetry=tracer is not None,
+        )
     if engine == "serial" and options is None:
         return simulate_serial(circuit, tests.vectors, faults, budget=budget)
     simulator = make_stuck_at_simulator(circuit, engine, faults, options, tracer)
@@ -95,8 +117,24 @@ def run_transition(
     serial: bool = False,
     tracer: Optional[Tracer] = None,
     budget=None,
+    jobs: int = 1,
+    shard_strategy: str = "round-robin",
 ) -> FaultSimResult:
     """Run transition-fault simulation (concurrent by default)."""
+    if jobs > 1 and not serial:
+        from repro.parallel.runner import run_parallel
+
+        return run_parallel(
+            circuit,
+            tests,
+            transition=True,
+            faults=faults,
+            options=SimOptions(split_lists=split_lists),
+            jobs=jobs,
+            shard_strategy=shard_strategy,
+            budget=budget,
+            telemetry=tracer is not None,
+        )
     if serial:
         return simulate_serial_transition(circuit, tests.vectors, faults)
     options = SimOptions(split_lists=split_lists)

@@ -11,10 +11,19 @@ a printable table.
 in CI time on a pure-Python engine; shapes (who wins, where macro
 extraction pays off) are stable across scales.  The benchmark scripts and
 ``examples/reproduce_paper_tables.py`` drive these functions.
+
+Cells parallelise at the campaign level: every cell — one circuit × one
+table computation — is an independent, deterministic unit, so
+:func:`all_tables` with ``jobs > 1`` prefills the cell cache from a
+process pool before assembling the report serially.  Because each cell's
+value is computed by the same (unsharded) function either way, the
+rendered report — in particular the ``deterministic`` mode the resume CI
+check diffs — is byte-identical to a single-process run.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.library import (
@@ -78,36 +87,171 @@ DEFAULT_TABLE3 = ("s298", "s344", "s382", "s444", "s526", "s820", "s1238", "s149
 DEFAULT_TABLE4 = ("s298", "s344", "s382", "s444", "s526")
 DEFAULT_TABLE6 = ("s298", "s344", "s382", "s444", "s526")
 
+#: Seed shared by every table unless a caller overrides it.
+DEFAULT_SEED = 1992
+
 Row = Dict[str, object]
+
+
+# ----------------------------------------------------------------------
+# cell computations — module-level so worker processes can pickle them
+# ----------------------------------------------------------------------
+
+_TABLE3_ENGINES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS")
+
+
+def _table2_cell(name: str, scale: float, seed: int) -> Row:
+    circuit = workload_circuit(name, scale)
+    stats = circuit_stats(circuit)
+    faults = stuck_at_universe(circuit)
+    tests = workload_tests(name, scale, "deterministic", seed=seed)
+    return {
+        "circuit": name,
+        "pis": stats.num_inputs,
+        "pos": stats.num_outputs,
+        "dffs": stats.num_dffs,
+        "gates": stats.num_gates,
+        "levels": stats.num_levels,
+        "faults": len(faults),
+        "patterns": len(tests),
+    }
+
+
+def _table3_cell(
+    name: str, scale: float, seed: int, telemetry: bool, deterministic: bool
+) -> Row:
+    circuit = workload_circuit(name, scale)
+    tests = workload_tests(name, scale, "deterministic", seed=seed)
+    results = compare_engines(
+        circuit,
+        tests,
+        _TABLE3_ENGINES,
+        tracer_factory=_tracer_factory(telemetry),
+    )
+    row: Row = {
+        "circuit": name,
+        "patterns": len(tests),
+        "coverage": 100.0 * results[0].coverage,
+    }
+    for result in results:
+        row[f"{result.engine}_cpu"] = result.wall_seconds
+        row[f"{result.engine}_mem"] = result.memory.peak_megabytes
+        row[f"{result.engine}_work"] = result.counters.total_work()
+        _attach_telemetry(row, result)
+    return _scrub_timings(row) if deterministic else row
+
+
+def _table4_cell(
+    name: str, scale: float, seed: int, telemetry: bool, deterministic: bool
+) -> Row:
+    circuit = workload_circuit(name, scale)
+    tests = workload_tests(name, scale, "deterministic-high", seed=seed)
+    results = compare_engines(
+        circuit,
+        tests,
+        ("csim-MV", "PROOFS"),
+        tracer_factory=_tracer_factory(telemetry),
+    )
+    csim_mv, proofs = results
+    row: Row = {
+        "circuit": name,
+        "patterns": len(tests),
+        "coverage": 100.0 * csim_mv.coverage,
+        "csim-MV_cpu": csim_mv.wall_seconds,
+        "csim-MV_mem": csim_mv.memory.peak_megabytes,
+        "PROOFS_cpu": proofs.wall_seconds,
+        "PROOFS_mem": proofs.memory.peak_megabytes,
+    }
+    for result in results:
+        _attach_telemetry(row, result)
+    return _scrub_timings(row) if deterministic else row
+
+
+def _table5_cell(
+    circuit_name: str,
+    scale: float,
+    count: int,
+    seed: int,
+    telemetry: bool,
+    deterministic: bool,
+) -> Row:
+    circuit = workload_circuit(circuit_name, scale)
+    tests = workload_tests(circuit_name, scale, "random", length=count, seed=seed)
+    results = compare_engines(
+        circuit,
+        tests,
+        ("csim-MV", "PROOFS"),
+        tracer_factory=_tracer_factory(telemetry),
+    )
+    csim_mv, proofs = results
+    row: Row = {
+        "circuit": circuit_name,
+        "patterns": count,
+        "coverage": 100.0 * csim_mv.coverage,
+        "csim-MV_cpu": csim_mv.wall_seconds,
+        "csim-MV_mem": csim_mv.memory.peak_megabytes,
+        "PROOFS_cpu": proofs.wall_seconds,
+        "PROOFS_mem": proofs.memory.peak_megabytes,
+    }
+    for result in results:
+        _attach_telemetry(row, result)
+    return _scrub_timings(row) if deterministic else row
+
+
+def _table6_cell(
+    name: str, scale: float, seed: int, telemetry: bool, deterministic: bool
+) -> Row:
+    circuit = workload_circuit(name, scale)
+    tests = workload_tests(name, scale, "deterministic", seed=seed)
+    faults = workload_transition_faults(name, scale)
+    result = run_transition(
+        circuit,
+        tests,
+        split_lists=True,
+        faults=faults,
+        tracer=RecordingTracer() if telemetry else None,
+    )
+    stuck = run_stuck_at(circuit, tests, "csim-MV")
+    row: Row = {
+        "circuit": name,
+        "faults": len(faults),
+        "patterns": len(tests),
+        "stuck_coverage": 100.0 * stuck.coverage,
+        "coverage": 100.0 * result.coverage,
+        "cpu": result.wall_seconds,
+        "mem": result.memory.peak_megabytes,
+    }
+    _attach_telemetry(row, result)
+    return _scrub_timings(row) if deterministic else row
+
+
+#: Cell dispatch for the parallel prefill worker.
+_CELL_FNS = {
+    "table2": _table2_cell,
+    "table3": _table3_cell,
+    "table4": _table4_cell,
+    "table5": _table5_cell,
+    "table6": _table6_cell,
+}
+
+
+def _compute_cell(spec):
+    """Worker entry point: ``((key, (table, args))) -> (key, row)``."""
+    key, (table, args) = spec
+    return key, _CELL_FNS[table](*args)
 
 
 def table2(
     circuits: Sequence[str] = DEFAULT_TABLE3,
     scale: float = 1.0,
-    seed: int = 1992,
+    seed: int = DEFAULT_SEED,
     campaign=None,
 ) -> Tuple[List[Row], str]:
     """Table 2 — benchmark circuit statistics and the tests applied."""
-    rows: List[Row] = []
-    for name in circuits:
-
-        def compute(name=name) -> Row:
-            circuit = workload_circuit(name, scale)
-            stats = circuit_stats(circuit)
-            faults = stuck_at_universe(circuit)
-            tests = workload_tests(name, scale, "deterministic", seed=seed)
-            return {
-                "circuit": name,
-                "pis": stats.num_inputs,
-                "pos": stats.num_outputs,
-                "dffs": stats.num_dffs,
-                "gates": stats.num_gates,
-                "levels": stats.num_levels,
-                "faults": len(faults),
-                "patterns": len(tests),
-            }
-
-        rows.append(_cell(campaign, ("table2", name), compute))
+    rows: List[Row] = [
+        _cell(campaign, ("table2", name), partial(_table2_cell, name, scale, seed))
+        for name in circuits
+    ]
     text = format_table(
         ["ckt", "#PI", "#PO", "#FF", "#gates", "#levels", "#faults", "#ptns"],
         [
@@ -119,13 +263,10 @@ def table2(
     return rows, text
 
 
-_TABLE3_ENGINES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS")
-
-
 def table3(
     circuits: Sequence[str] = DEFAULT_TABLE3,
     scale: float = 1.0,
-    seed: int = 1992,
+    seed: int = DEFAULT_SEED,
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
@@ -142,31 +283,14 @@ def table3(
     ``<engine>_telemetry`` — the machine-readable version of the paper's
     internal-statistics discussion.
     """
-    rows: List[Row] = []
-    for name in circuits:
-
-        def compute(name=name) -> Row:
-            circuit = workload_circuit(name, scale)
-            tests = workload_tests(name, scale, "deterministic", seed=seed)
-            results = compare_engines(
-                circuit,
-                tests,
-                _TABLE3_ENGINES,
-                tracer_factory=_tracer_factory(telemetry),
-            )
-            row: Row = {
-                "circuit": name,
-                "patterns": len(tests),
-                "coverage": 100.0 * results[0].coverage,
-            }
-            for result in results:
-                row[f"{result.engine}_cpu"] = result.wall_seconds
-                row[f"{result.engine}_mem"] = result.memory.peak_megabytes
-                row[f"{result.engine}_work"] = result.counters.total_work()
-                _attach_telemetry(row, result)
-            return _scrub_timings(row) if deterministic else row
-
-        rows.append(_cell(campaign, ("table3", name), compute))
+    rows: List[Row] = [
+        _cell(
+            campaign,
+            ("table3", name),
+            partial(_table3_cell, name, scale, seed, telemetry, deterministic),
+        )
+        for name in circuits
+    ]
     text = format_table(
         ["ckt", "#ptns", "cvg%"]
         + [f"{engine} {unit}" for engine in _TABLE3_ENGINES for unit in ("CPU", "mem")],
@@ -189,40 +313,21 @@ def table3(
 def table4(
     circuits: Sequence[str] = DEFAULT_TABLE4,
     scale: float = 1.0,
-    seed: int = 1992,
+    seed: int = DEFAULT_SEED,
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 4 — deterministic patterns (II): higher-coverage test sets,
     csim-MV vs PROOFS."""
-    rows: List[Row] = []
-    for name in circuits:
-
-        def compute(name=name) -> Row:
-            circuit = workload_circuit(name, scale)
-            tests = workload_tests(name, scale, "deterministic-high", seed=seed)
-            results = compare_engines(
-                circuit,
-                tests,
-                ("csim-MV", "PROOFS"),
-                tracer_factory=_tracer_factory(telemetry),
-            )
-            csim_mv, proofs = results
-            row: Row = {
-                "circuit": name,
-                "patterns": len(tests),
-                "coverage": 100.0 * csim_mv.coverage,
-                "csim-MV_cpu": csim_mv.wall_seconds,
-                "csim-MV_mem": csim_mv.memory.peak_megabytes,
-                "PROOFS_cpu": proofs.wall_seconds,
-                "PROOFS_mem": proofs.memory.peak_megabytes,
-            }
-            for result in results:
-                _attach_telemetry(row, result)
-            return _scrub_timings(row) if deterministic else row
-
-        rows.append(_cell(campaign, ("table4", name), compute))
+    rows: List[Row] = [
+        _cell(
+            campaign,
+            ("table4", name),
+            partial(_table4_cell, name, scale, seed, telemetry, deterministic),
+        )
+        for name in circuits
+    ]
     text = format_table(
         ["ckt", "#ptns", "cvg%", "csim-MV CPU", "csim-MV MEM", "PROOFS CPU", "PROOFS MEM"],
         [
@@ -246,7 +351,7 @@ def table5(
     circuit_name: str = TABLE5_CIRCUIT,
     scale: float = 0.05,
     pattern_counts: Sequence[int] = (200, 400, 800),
-    seed: int = 1992,
+    seed: int = DEFAULT_SEED,
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
@@ -257,35 +362,16 @@ def table5(
     concurrent simulator's memory stays *below* its deterministic-pattern
     requirement because faults activate slowly.
     """
-    rows: List[Row] = []
-    circuit = workload_circuit(circuit_name, scale)
-    for count in pattern_counts:
-
-        def compute(count=count) -> Row:
-            tests = workload_tests(
-                circuit_name, scale, "random", length=count, seed=seed
-            )
-            results = compare_engines(
-                circuit,
-                tests,
-                ("csim-MV", "PROOFS"),
-                tracer_factory=_tracer_factory(telemetry),
-            )
-            csim_mv, proofs = results
-            row: Row = {
-                "circuit": circuit_name,
-                "patterns": count,
-                "coverage": 100.0 * csim_mv.coverage,
-                "csim-MV_cpu": csim_mv.wall_seconds,
-                "csim-MV_mem": csim_mv.memory.peak_megabytes,
-                "PROOFS_cpu": proofs.wall_seconds,
-                "PROOFS_mem": proofs.memory.peak_megabytes,
-            }
-            for result in results:
-                _attach_telemetry(row, result)
-            return _scrub_timings(row) if deterministic else row
-
-        rows.append(_cell(campaign, ("table5", circuit_name, count), compute))
+    rows: List[Row] = [
+        _cell(
+            campaign,
+            ("table5", circuit_name, count),
+            partial(
+                _table5_cell, circuit_name, scale, count, seed, telemetry, deterministic
+            ),
+        )
+        for count in pattern_counts
+    ]
     text = format_table(
         ["#ptns", "flt cvg%", "csim-MV CPU", "csim-MV MEM", "PROOFS CPU", "PROOFS MEM"],
         [
@@ -307,7 +393,7 @@ def table5(
 def table6(
     circuits: Sequence[str] = DEFAULT_TABLE6,
     scale: float = 1.0,
-    seed: int = 1992,
+    seed: int = DEFAULT_SEED,
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
@@ -317,34 +403,14 @@ def table6(
     The paper's observation checked here: stuck-at tests are poor
     transition tests — coverages generally well below 50%.
     """
-    rows: List[Row] = []
-    for name in circuits:
-
-        def compute(name=name) -> Row:
-            circuit = workload_circuit(name, scale)
-            tests = workload_tests(name, scale, "deterministic", seed=seed)
-            faults = workload_transition_faults(name, scale)
-            result = run_transition(
-                circuit,
-                tests,
-                split_lists=True,
-                faults=faults,
-                tracer=RecordingTracer() if telemetry else None,
-            )
-            stuck = run_stuck_at(circuit, tests, "csim-MV")
-            row: Row = {
-                "circuit": name,
-                "faults": len(faults),
-                "patterns": len(tests),
-                "stuck_coverage": 100.0 * stuck.coverage,
-                "coverage": 100.0 * result.coverage,
-                "cpu": result.wall_seconds,
-                "mem": result.memory.peak_megabytes,
-            }
-            _attach_telemetry(row, result)
-            return _scrub_timings(row) if deterministic else row
-
-        rows.append(_cell(campaign, ("table6", name), compute))
+    rows: List[Row] = [
+        _cell(
+            campaign,
+            ("table6", name),
+            partial(_table6_cell, name, scale, seed, telemetry, deterministic),
+        )
+        for name in circuits
+    ]
     text = format_table(
         ["ckt", "#flts", "#ptns", "s-a cvg%", "trans cvg%", "CPU", "MEM"],
         [
@@ -364,11 +430,86 @@ def table6(
     return rows, text
 
 
+def plan_cells(
+    scale: float = 1.0,
+    quick: bool = False,
+    deterministic: bool = False,
+) -> List[tuple]:
+    """Every cell :func:`all_tables` computes, as ``(key, (table, args))``.
+
+    The plan must mirror :func:`all_tables` exactly — same circuit subsets,
+    same table-5 scale and pattern counts — so a parallel prefill computes
+    precisely the cells the serial assembly will ask for.
+    """
+    t3_circuits = DEFAULT_TABLE4 if quick else DEFAULT_TABLE3
+    t5_scale = 0.03 if quick else 0.05
+    t5_counts = (100, 200) if quick else (200, 400, 800)
+    seed = DEFAULT_SEED
+    cells: List[tuple] = []
+    for name in t3_circuits:
+        cells.append((("table2", name), ("table2", (name, scale, seed))))
+    for name in t3_circuits:
+        cells.append(
+            (("table3", name), ("table3", (name, scale, seed, False, deterministic)))
+        )
+    for name in DEFAULT_TABLE4:
+        cells.append(
+            (("table4", name), ("table4", (name, scale, seed, False, deterministic)))
+        )
+    for count in t5_counts:
+        cells.append(
+            (
+                ("table5", TABLE5_CIRCUIT, count),
+                ("table5", (TABLE5_CIRCUIT, t5_scale, count, seed, False, deterministic)),
+            )
+        )
+    for name in DEFAULT_TABLE6:
+        cells.append(
+            (("table6", name), ("table6", (name, scale, seed, False, deterministic)))
+        )
+    return cells
+
+
+def prefill_cells(
+    campaign,
+    scale: float = 1.0,
+    quick: bool = False,
+    deterministic: bool = False,
+    jobs: int = 1,
+) -> int:
+    """Fill a campaign's cell cache in parallel; returns cells computed.
+
+    Cells already present (a resumed campaign) are skipped.  Each computed
+    cell is recorded through ``campaign.cell`` so durable checkpoints see
+    it immediately — a prefilled-then-interrupted campaign resumes exactly
+    like a serial one.
+    """
+    pending = [
+        spec
+        for spec in plan_cells(scale, quick, deterministic)
+        if spec[0] not in campaign.cells
+    ]
+    if not pending:
+        return 0
+    if jobs <= 1 or len(pending) == 1:
+        for key, row in map(_compute_cell, pending):
+            campaign.cell(key, lambda row=row: row)
+        return len(pending)
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    with context.Pool(processes=min(jobs, len(pending))) as pool:
+        for key, row in pool.imap_unordered(_compute_cell, pending):
+            campaign.cell(key, lambda row=row: row)
+    return len(pending)
+
+
 def all_tables(
     scale: float = 1.0,
     quick: bool = False,
     campaign=None,
     deterministic: bool = False,
+    jobs: int = 1,
 ) -> str:
     """Run every table and return one combined report.
 
@@ -376,7 +517,18 @@ def all_tables(
     finished cell is durable: an interrupted run resumes without
     recomputation.  ``deterministic`` zeroes the wall-clock columns so an
     interrupted-and-resumed report is byte-identical to a fresh one.
+
+    ``jobs > 1`` computes the cells in a pool of worker processes first
+    (each cell is an unsharded, deterministic unit of work), then
+    assembles the report from the cache; the rendered text is identical
+    to a single-process run.
     """
+    if jobs > 1:
+        if campaign is None:
+            from repro.robust.runner import TableCampaign
+
+            campaign = TableCampaign()
+        prefill_cells(campaign, scale, quick, deterministic, jobs)
     t3_circuits = DEFAULT_TABLE4 if quick else DEFAULT_TABLE3
     sections = [
         table2(t3_circuits, scale, campaign=campaign)[1],

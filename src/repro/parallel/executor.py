@@ -1,0 +1,158 @@
+"""Shard execution backends: multiprocessing workers and a sequential twin.
+
+A :class:`ShardTask` is a self-contained, picklable description of one
+shard's campaign — circuit, vectors, fault subset, engine configuration,
+budget, checkpoint binding.  :func:`simulate_shard` turns one into a
+:class:`repro.result.FaultSimResult`; it is a module-level function so the
+``multiprocessing`` start methods that re-import (spawn/forkserver) can
+find it.
+
+Two executors run task lists:
+
+* :class:`MultiprocessExecutor` — a process pool of ``jobs`` workers
+  consuming tasks as they free up (``imap_unordered``), which is what
+  makes the ``work-stealing`` strategy's oversharded queue dynamic.
+  Results are re-ordered by shard index before returning, so completion
+  order never leaks into the merged result.
+* :class:`SequentialExecutor` — the same tasks in-process, in shard
+  order.  The fallback when ``multiprocessing`` is unavailable or
+  unwanted (``--jobs 1``), the debug mode (breakpoints work), and the
+  determinism oracle: both executors must produce identical outcomes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.concurrent.options import SimOptions
+from repro.patterns.vectors import TestSequence, Vector
+from repro.result import FaultSimResult
+from repro.robust.budget import Budget
+
+
+@dataclass
+class ShardTask:
+    """One shard's complete campaign description (picklable)."""
+
+    index: int
+    total: int
+    circuit: Circuit
+    vectors: List[Vector]
+    faults: Tuple
+    engine: str = "csim-MV"
+    transition: bool = False
+    options: Optional[SimOptions] = None
+    budget: Optional[Budget] = None
+    telemetry: bool = False
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    checkpoint_every: int = 64
+    strategy: str = "round-robin"
+    #: Extra fingerprint material binding the shard checkpoint to its
+    #: position in the campaign (strategy, index, total).
+    fingerprint_extra: tuple = field(default_factory=tuple)
+
+
+def simulate_shard(task: ShardTask) -> Tuple[int, FaultSimResult]:
+    """Run one shard to completion; returns ``(shard_index, result)``."""
+    from repro.harness.runner import run_stuck_at, run_transition
+    from repro.obs import RecordingTracer
+    from repro.robust.runner import run_checkpointed
+
+    tests = TestSequence(len(task.circuit.inputs), list(task.vectors))
+    tracer = RecordingTracer() if task.telemetry else None
+    if task.checkpoint_path is not None:
+        result = run_checkpointed(
+            task.circuit,
+            tests,
+            task.engine,
+            transition=task.transition,
+            faults=list(task.faults),
+            options=task.options,
+            tracer=tracer,
+            budget=task.budget,
+            checkpoint_path=task.checkpoint_path,
+            resume=task.resume,
+            checkpoint_every=task.checkpoint_every,
+            fingerprint_extra=task.fingerprint_extra,
+        )
+    elif task.transition:
+        result = run_transition(
+            task.circuit,
+            tests,
+            split_lists=(task.options or SimOptions(split_lists=True)).split_lists,
+            faults=list(task.faults),
+            tracer=tracer,
+            budget=task.budget,
+        )
+    else:
+        result = run_stuck_at(
+            task.circuit,
+            tests,
+            task.engine,
+            faults=list(task.faults),
+            options=task.options,
+            tracer=tracer,
+            budget=task.budget,
+        )
+    return task.index, result
+
+
+#: Callback fired after each completed shard: (shard_index, result).
+ShardCallback = Callable[[int, FaultSimResult], None]
+
+
+class SequentialExecutor:
+    """Run shard tasks in-process, in shard order.
+
+    ``on_result`` fires after every completed shard — the chaos/test hook
+    for injecting interrupts at deterministic points of a campaign.
+    """
+
+    def __init__(self, on_result: Optional[ShardCallback] = None) -> None:
+        self.on_result = on_result
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[FaultSimResult]:
+        outcomes: List[Tuple[int, FaultSimResult]] = []
+        for task in tasks:
+            index, result = simulate_shard(task)
+            outcomes.append((index, result))
+            if self.on_result is not None:
+                self.on_result(index, result)
+        outcomes.sort(key=lambda pair: pair[0])
+        return [result for _, result in outcomes]
+
+
+class MultiprocessExecutor:
+    """Run shard tasks in a pool of ``jobs`` worker processes.
+
+    Tasks are consumed dynamically (a free worker takes the next pending
+    shard) and results are returned in shard order regardless of
+    completion order.  On interrupt the pool is terminated — worker-side
+    periodic checkpoints remain the resume points for unfinished shards.
+    """
+
+    def __init__(self, jobs: int, on_result: Optional[ShardCallback] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.on_result = on_result
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[FaultSimResult]:
+        if not tasks:
+            return []
+        workers = min(self.jobs, len(tasks))
+        if workers == 1:
+            return SequentialExecutor(self.on_result).run(tasks)
+        outcomes: List[Tuple[int, FaultSimResult]] = []
+        context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            for index, result in pool.imap_unordered(simulate_shard, tasks):
+                outcomes.append((index, result))
+                if self.on_result is not None:
+                    self.on_result(index, result)
+        outcomes.sort(key=lambda pair: pair[0])
+        return [result for _, result in outcomes]

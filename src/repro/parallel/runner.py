@@ -1,0 +1,158 @@
+"""The fault-sharded parallel campaign runner.
+
+``run_parallel`` is the one entry point: partition the (collapsed) fault
+universe into shards (:mod:`repro.parallel.sharding`), simulate every
+shard with an independent engine — in ``jobs`` worker processes or
+in-process sequentially (:mod:`repro.parallel.executor`) — and merge the
+shard results deterministically (:mod:`repro.parallel.merge`).  The
+merged detections, detection cycles and coverage are bit-identical to a
+single-process run for any shard count, strategy, and executor.
+
+Resilience composes with parallelism shard-wise:
+
+* **Checkpoints** — with ``checkpoint_path`` every shard checkpoints its
+  own engine through :func:`repro.robust.runner.run_checkpointed` into
+  ``<path>.shardII-of-NN``, fingerprint-bound to the shard's fault subset
+  *and* its (strategy, index, total) position, so resuming under a
+  different sharding configuration is refused rather than silently
+  merged wrong.  ``resume=True`` resumes shards whose checkpoint exists
+  (finished shards replay from their final checkpoint without
+  re-simulating) and starts the rest fresh — exactly what a campaign
+  killed mid-run needs.
+* **Budgets** — the budget is armed per shard; any shard's breach marks
+  the merged result ``truncated`` (see :mod:`repro.parallel.merge`).
+* **Interrupts** — Ctrl-C surfaces as
+  :class:`repro.robust.checkpoint.CampaignInterrupted` carrying the base
+  checkpoint path; completed and in-flight shards keep their durable
+  progress.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterable, List, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.concurrent.options import SimOptions
+from repro.faults.transition import all_transition_faults
+from repro.faults.universe import stuck_at_universe
+from repro.parallel.executor import (
+    MultiprocessExecutor,
+    SequentialExecutor,
+    ShardTask,
+)
+from repro.parallel.merge import merge_results
+from repro.parallel.sharding import DEFAULT_OVERSHARD, STRATEGIES, shard_faults
+from repro.patterns.vectors import TestSequence
+from repro.result import FaultSimResult
+from repro.robust.budget import Budget
+from repro.robust.checkpoint import CampaignInterrupted
+
+
+def shard_checkpoint_path(base: str, index: int, total: int) -> str:
+    """The per-shard checkpoint file under a campaign's base path."""
+    return f"{base}.shard{index:02d}-of-{total:02d}"
+
+
+def plan_shards(
+    circuit: Circuit,
+    faults,
+    jobs: int,
+    shard_strategy: str = "round-robin",
+    overshard: int = DEFAULT_OVERSHARD,
+    transition: bool = False,
+) -> List[list]:
+    """The deterministic shard partition a campaign would use."""
+    if faults is None:
+        universe = (
+            all_transition_faults(circuit) if transition else stuck_at_universe(circuit)
+        )
+    else:
+        universe = list(faults)
+    return shard_faults(circuit, sorted(universe), jobs, shard_strategy, overshard)
+
+
+def run_parallel(
+    circuit: Circuit,
+    tests: TestSequence,
+    engine: str = "csim-MV",
+    *,
+    transition: bool = False,
+    faults=None,
+    options: Optional[SimOptions] = None,
+    jobs: int = 1,
+    shard_strategy: str = "round-robin",
+    overshard: int = DEFAULT_OVERSHARD,
+    budget: Optional[Budget] = None,
+    telemetry: bool = False,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 64,
+    executor=None,
+) -> FaultSimResult:
+    """Run one fault-simulation campaign sharded over *jobs* workers.
+
+    With the default executor, ``jobs > 1`` runs shards in a process pool
+    and ``jobs == 1`` runs the (single) shard in-process.  Passing an
+    ``executor`` (:class:`SequentialExecutor` or
+    :class:`MultiprocessExecutor`) overrides that choice without touching
+    the partition — the standard trick for testing that backends agree.
+
+    ``telemetry=True`` records a :class:`repro.obs.RecordingTracer` in
+    every worker and attaches the merged telemetry to the result (the
+    parallel counterpart of passing a tracer to a single-process run).
+    """
+    if shard_strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {shard_strategy!r}; choose from {STRATEGIES}"
+        )
+    if resume and checkpoint_path is None:
+        raise ValueError("resume requested without a checkpoint path")
+
+    shards = plan_shards(
+        circuit, faults, jobs, shard_strategy, overshard, transition=transition
+    )
+    total = len(shards)
+    tasks: List[ShardTask] = []
+    for index, shard in enumerate(shards):
+        path = (
+            shard_checkpoint_path(checkpoint_path, index, total)
+            if checkpoint_path is not None
+            else None
+        )
+        tasks.append(
+            ShardTask(
+                index=index,
+                total=total,
+                circuit=circuit,
+                vectors=list(tests.vectors),
+                faults=tuple(shard),
+                engine=engine,
+                transition=transition,
+                options=options,
+                budget=budget,
+                telemetry=telemetry,
+                checkpoint_path=path,
+                resume=resume and path is not None and os.path.exists(path),
+                checkpoint_every=checkpoint_every,
+                strategy=shard_strategy,
+                fingerprint_extra=("shard", shard_strategy, index, total),
+            )
+        )
+
+    if executor is None:
+        executor = MultiprocessExecutor(jobs) if jobs > 1 else SequentialExecutor()
+
+    started = time.perf_counter()
+    try:
+        results = executor.run(tasks)
+    except CampaignInterrupted as exc:
+        # Surface the campaign's *base* path in the resume hint, not the
+        # individual shard file the interrupt happened to land in.
+        raise CampaignInterrupted(checkpoint_path, exc.cycles_done) from None
+    except KeyboardInterrupt:
+        raise CampaignInterrupted(checkpoint_path) from None
+    merged = merge_results(results, wall_seconds=time.perf_counter() - started)
+    merged.circuit_name = circuit.name
+    return merged

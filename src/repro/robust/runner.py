@@ -46,9 +46,20 @@ DEFAULT_CHECKPOINT_EVERY = 64
 
 
 def run_fingerprint(
-    circuit: Circuit, tests: TestSequence, label: str, faults, transition: bool
+    circuit: Circuit,
+    tests: TestSequence,
+    label: str,
+    faults,
+    transition: bool,
+    extra: tuple = (),
 ) -> str:
-    """Fingerprint binding a single-run checkpoint to its configuration."""
+    """Fingerprint binding a single-run checkpoint to its configuration.
+
+    ``extra`` is additional identity the caller wants the checkpoint bound
+    to — the parallel runner passes its (strategy, shard index, shard
+    count) so a checkpoint can never be resumed into a differently
+    sharded campaign, even if the fault subset happens to coincide.
+    """
     return config_fingerprint(
         "run",
         "transition" if transition else "stuck-at",
@@ -56,6 +67,7 @@ def run_fingerprint(
         circuit_fingerprint(circuit),
         tuple(tests.vectors),
         tuple(faults),
+        *extra,
     )
 
 
@@ -86,6 +98,7 @@ def run_checkpointed(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    fingerprint_extra: tuple = (),
 ) -> FaultSimResult:
     """Run one fault-simulation campaign with durable progress.
 
@@ -104,7 +117,9 @@ def run_checkpointed(
     simulator, label = _build_simulator(
         circuit, engine, transition, faults, options, tracer
     )
-    fingerprint = run_fingerprint(circuit, tests, label, simulator.faults, transition)
+    fingerprint = run_fingerprint(
+        circuit, tests, label, simulator.faults, transition, fingerprint_extra
+    )
 
     start_cycle = 0
     if resume:

@@ -215,3 +215,42 @@ class TestApiValidation:
         assert CSIM_MV.variant_name == "csim-MV"
         assert SimOptions(use_macros=True).variant_name == "csim-M"
         assert "no drop" in CSIM.with_(drop_detected=False).variant_name
+
+
+class TestSharedCaches:
+    """The hot-path caches: per-circuit eval tables and macro transforms
+    are built once and shared by every engine instance on that circuit."""
+
+    def test_eval_tables_shared_across_instances(self, s27):
+        from repro.concurrent.engine import shared_eval_tables
+
+        first = ConcurrentFaultSimulator(s27, options=CSIM_V)
+        second = ConcurrentFaultSimulator(s27, options=CSIM)
+        assert first._eval_tables is second._eval_tables
+        assert first._eval_tables is shared_eval_tables(s27)
+
+    def test_macro_transform_shared_across_instances(self, s27):
+        first = ConcurrentFaultSimulator(s27, options=CSIM_MV)
+        second = ConcurrentFaultSimulator(s27, options=CSIM_MV)
+        assert first.macro is second.macro
+        assert first._eval_tables is second._eval_tables
+
+    def test_distinct_circuits_get_distinct_tables(self, s27):
+        from repro.concurrent.engine import shared_eval_tables
+
+        other = load("s298")
+        assert shared_eval_tables(s27) is not shared_eval_tables(other)
+
+    def test_descriptors_have_no_dict(self, s27):
+        sim = ConcurrentFaultSimulator(s27)
+        descriptor = next(d for d in sim.descriptors if d is not None)
+        assert not hasattr(descriptor, "__dict__")
+
+    def test_scratch_dict_reused_across_cycles(self, s27):
+        sim = ConcurrentFaultSimulator(s27, options=CSIM_MV)
+        vectors = random_sequence(s27, 4, seed=2).vectors
+        sim.step(vectors[0])
+        scratch = sim._scratch_candidates
+        for vector in vectors[1:]:
+            sim.step(vector)
+        assert sim._scratch_candidates is scratch
