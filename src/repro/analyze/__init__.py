@@ -1,0 +1,53 @@
+"""Static analysis over circuits and fault universes.
+
+Three tools, all usable before a single vector is simulated:
+
+* :mod:`repro.analyze.lint` — severity-tiered netlist diagnostics with
+  ``file:line`` locations (``repro lint``);
+* :mod:`repro.analyze.scoap` + :mod:`repro.analyze.untestable` — SCOAP
+  testability scores and sound structural pruning of provably
+  undetectable faults (``--prune-untestable``);
+* :mod:`repro.analyze.sanitize` — the opt-in fault-list invariant
+  checker for the concurrent engines (``--sanitize``).
+"""
+
+from repro.analyze.lint import (
+    Diagnostic,
+    SEVERITIES,
+    has_findings,
+    lint_bench_text,
+    lint_circuit,
+    lint_path,
+    severity_rank,
+    worst_severity,
+)
+from repro.analyze.sanitize import FaultListSanitizer, SanitizerError
+from repro.analyze.scoap import INF, ScoapResult, scoap
+from repro.analyze.untestable import (
+    PruneReport,
+    PrunedFault,
+    constant_values,
+    observable_gates,
+    prune_untestable,
+)
+
+__all__ = [
+    "Diagnostic",
+    "SEVERITIES",
+    "has_findings",
+    "lint_bench_text",
+    "lint_circuit",
+    "lint_path",
+    "severity_rank",
+    "worst_severity",
+    "FaultListSanitizer",
+    "SanitizerError",
+    "INF",
+    "ScoapResult",
+    "scoap",
+    "PruneReport",
+    "PrunedFault",
+    "constant_values",
+    "observable_gates",
+    "prune_untestable",
+]

@@ -1,0 +1,232 @@
+"""Fault-list sanitizer: an ASan-style invariant checker for the engines.
+
+The concurrent engine's correctness rests on structural invariants of its
+fault lists that no single phase re-checks: elements carry legal values,
+the visible/invisible split mirrors the good machine exactly, descriptors
+and elements agree on identity and site, and the detected set is mirrored
+between descriptors and the result maps.  A corruption — a bug, a bad
+restore, a chaos injection — that breaks one of them does not crash; it
+silently miscounts detections many cycles later.
+
+``FaultListSanitizer`` validates the full invariant set at every phase
+boundary of a cycle (pre-cycle, post-settle, post-detect, post-clock) and
+raises :class:`SanitizerError` at the *first* boundary after the
+corruption, naming the gate, fault id and invariant.  It is opt-in
+(``SimOptions.sanitize`` / ``--sanitize``) because a full scan per
+boundary costs O(gates + elements); see README for measured overhead.
+
+Checked invariants
+------------------
+* value domains: every good value and element value is in ``{0, 1, X}``;
+* container presence: every gate keeps its visible and invisible list
+  containers for the whole run (the dict analogue of the paper's
+  terminal elements, which guarantee a list is never truly empty);
+* split consistency: a fault id appears on at most one of a gate's two
+  lists; visible elements differ from the good value, invisible elements
+  equal it;
+* reference agreement: element fault ids are in range,
+  ``descriptors[fid].fid == fid``, and every local fault's descriptor
+  sites it at that gate;
+* list ordering: per-gate local fault lists are strictly ascending by
+  fault id, and the descriptor array is sorted by fault key — the
+  orderings deterministic fault ids rely on;
+* counter agreement: the live-element counter equals the element
+  population;
+* detection agreement: descriptor ``detected``/``detect_cycle`` state and
+  the simulator's ``detected`` map tell the same story.
+
+The checker is duck-typed against :class:`ConcurrentFaultSimulator`'s
+attributes and imports nothing from ``repro.concurrent``, so the engine
+can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.faults.model import Fault
+from repro.logic.values import VALUES
+
+
+class SanitizerError(RuntimeError):
+    """A fault-list invariant does not hold at a phase boundary."""
+
+
+class FaultListSanitizer:
+    """Phase-boundary invariant checker for one simulator instance.
+
+    Construct once per engine (the constructor snapshots the immutable
+    expectations: gate count, descriptor array, fault-to-descriptor map)
+    and call :meth:`check` at each boundary.
+    """
+
+    def __init__(self, simulator: Any) -> None:
+        self._sim = simulator
+        self._num_gates = len(simulator.circuit.gates)
+        self._by_fault: Dict[Fault, Any] = {
+            descriptor.fault: descriptor for descriptor in simulator.descriptors
+        }
+        self.checks = 0
+
+    def _fail(self, phase: str, message: str) -> None:
+        raise SanitizerError(
+            f"fault-list sanitizer: {message} "
+            f"[cycle {self._sim.cycle}, {phase} boundary]"
+        )
+
+    def check(self, phase: str) -> None:
+        """Validate every invariant; raise :class:`SanitizerError` on the
+        first violation, naming the phase boundary it surfaced at."""
+        self.checks += 1
+        sim = self._sim
+        count = self._num_gates
+        descriptors = sim.descriptors
+        num_faults = len(descriptors)
+        good = sim.good
+        vis = sim.vis
+        invis = sim.invis
+
+        # Container presence (terminal elements): one visible and one
+        # invisible list per gate, alive for the whole run.
+        if len(good) != count or len(vis) != count or len(invis) != count:
+            self._fail(
+                phase,
+                f"state arrays sized {len(good)}/{len(vis)}/{len(invis)} "
+                f"for {count} gates",
+            )
+
+        # Descriptor identity and global ordering.
+        previous_key = None
+        for fid, descriptor in enumerate(descriptors):
+            if descriptor.fid != fid:
+                self._fail(
+                    phase,
+                    f"descriptor at position {fid} carries fid {descriptor.fid}",
+                )
+            key = descriptor.fault._sort_key()
+            if previous_key is not None and key < previous_key:
+                self._fail(
+                    phase,
+                    f"descriptor array not sorted by fault key at fid {fid}",
+                )
+            previous_key = key
+
+        # Per-gate local fault lists: strictly ascending, sited here.
+        for gate_index, fids in sim.local_faults.items():
+            previous = -1
+            for fid in fids:
+                if not 0 <= fid < num_faults:
+                    self._fail(
+                        phase,
+                        f"local fault list of gate {gate_index} holds "
+                        f"out-of-range fid {fid}",
+                    )
+                if fid <= previous:
+                    self._fail(
+                        phase,
+                        f"local fault list of gate {gate_index} not strictly "
+                        f"ascending at fid {fid}",
+                    )
+                previous = fid
+                site = descriptors[fid].site_gate
+                if site != gate_index:
+                    self._fail(
+                        phase,
+                        f"fid {fid} on local list of gate {gate_index} but "
+                        f"sited at gate {site}",
+                    )
+
+        # Element lists: domains, split consistency, reference agreement.
+        live = 0
+        for gate_index in range(count):
+            good_value = good[gate_index]
+            if good_value not in VALUES:
+                self._fail(
+                    phase, f"good value {good_value!r} at gate {gate_index}"
+                )
+            vis_bucket = vis[gate_index]
+            invis_bucket = invis[gate_index]
+            live += len(vis_bucket) + len(invis_bucket)
+            for fid, value in vis_bucket.items():
+                if not 0 <= fid < num_faults:
+                    self._fail(
+                        phase,
+                        f"visible element with out-of-range fid {fid} at "
+                        f"gate {gate_index}",
+                    )
+                if value not in VALUES:
+                    self._fail(
+                        phase,
+                        f"visible element fid {fid} at gate {gate_index} "
+                        f"holds illegal value {value!r}",
+                    )
+                if value == good_value:
+                    self._fail(
+                        phase,
+                        f"visible element fid {fid} at gate {gate_index} "
+                        f"equals the good value {good_value!r}",
+                    )
+                if fid in invis_bucket:
+                    self._fail(
+                        phase,
+                        f"fid {fid} on both lists of gate {gate_index}",
+                    )
+            for fid, value in invis_bucket.items():
+                if not 0 <= fid < num_faults:
+                    self._fail(
+                        phase,
+                        f"invisible element with out-of-range fid {fid} at "
+                        f"gate {gate_index}",
+                    )
+                if value not in VALUES:
+                    self._fail(
+                        phase,
+                        f"invisible element fid {fid} at gate {gate_index} "
+                        f"holds illegal value {value!r}",
+                    )
+                if value != good_value:
+                    self._fail(
+                        phase,
+                        f"invisible element fid {fid} at gate {gate_index} "
+                        f"differs from the good value {good_value!r}",
+                    )
+
+        if live != sim._live_elements:
+            self._fail(
+                phase,
+                f"live-element counter {sim._live_elements} but "
+                f"{live} elements on the lists",
+            )
+
+        # Detection agreement, both directions.
+        for descriptor in descriptors:
+            if descriptor.detected:
+                if descriptor.detect_cycle is None:
+                    self._fail(
+                        phase,
+                        f"fid {descriptor.fid} detected with no detect_cycle",
+                    )
+                recorded = sim.detected.get(descriptor.fault)
+                if recorded != descriptor.detect_cycle:
+                    self._fail(
+                        phase,
+                        f"fid {descriptor.fid} detected at cycle "
+                        f"{descriptor.detect_cycle} but the result map says "
+                        f"{recorded!r}",
+                    )
+        for fault, cycle in sim.detected.items():
+            descriptor = self._by_fault.get(fault)
+            if descriptor is None:
+                self._fail(phase, f"detected map holds unknown fault {fault}")
+            elif not descriptor.detected:
+                self._fail(
+                    phase,
+                    f"fault {fault} in the detected map but fid "
+                    f"{descriptor.fid} is not marked detected",
+                )
+            elif descriptor.detect_cycle != cycle:
+                self._fail(
+                    phase,
+                    f"fault {fault} detected at cycle {cycle} in the map but "
+                    f"fid {descriptor.fid} says {descriptor.detect_cycle}",
+                )

@@ -1,0 +1,168 @@
+"""SCOAP testability measures for synchronous sequential circuits.
+
+Classic Goldstein SCOAP: ``CC0``/``CC1`` estimate how many line
+assignments it takes to set a line to 0/1, ``CO`` how many to propagate a
+value from the line to a primary output.  Primary inputs cost 1; every
+gate traversal adds 1; crossing a flip-flop adds 1 per clock cycle.
+
+Instead of per-type formulas the computation enumerates each gate's
+binary input assignments against the reference evaluator
+(:func:`repro.circuit.netlist.evaluate_gate`), which makes it exact for
+every primitive type *and* for table-driven macro gates with no extra
+code; gates wider than :data:`ENUMERATION_CAP` keep ``INF``
+(uncomputed), which downstream consumers treat as "unknown", never as
+"untestable" — structural untestability is decided by
+:mod:`repro.analyze.untestable`, not by these scores.
+
+Sequential circuits make the measures cyclic (a flip-flop's
+controllability depends on logic that depends on flip-flops), so the
+computation relaxes to the least fixpoint: costs start at ``INF`` and
+only ever decrease, hence termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Tuple
+
+from repro.circuit.netlist import Circuit, Gate, evaluate_gate
+from repro.logic.values import ONE, ZERO
+
+#: Cost representing "not achievable / not computed".
+INF = 10**9
+
+#: Widest gate whose truth table is enumerated (2**cap assignments).
+ENUMERATION_CAP = 10
+
+
+@dataclass(frozen=True)
+class ScoapResult:
+    """Per-gate testability scores, indexed by gate index.
+
+    ``INF`` entries mean the measure is unattainable (structurally
+    uncontrollable/unobservable) or was not computed (too-wide gate).
+    """
+
+    cc0: Tuple[int, ...]
+    cc1: Tuple[int, ...]
+    co: Tuple[int, ...]
+
+    def controllability(self, index: int, value: int) -> int:
+        return self.cc0[index] if value == ZERO else self.cc1[index]
+
+
+def _add(*costs: int) -> int:
+    total = 0
+    for cost in costs:
+        if cost >= INF:
+            return INF
+        total += cost
+    return min(total, INF)
+
+
+def _gate_controllability(
+    gate: Gate, cc0: List[int], cc1: List[int]
+) -> Tuple[int, int]:
+    """(CC0, CC1) of one combinational gate by truth-table enumeration."""
+    arity = gate.arity
+    if arity > ENUMERATION_CAP:
+        return INF, INF
+    best = {ZERO: INF, ONE: INF}
+    for assignment in product((ZERO, ONE), repeat=arity):
+        output = evaluate_gate(gate, assignment)
+        if output not in best:
+            continue
+        cost = 1
+        for pin, value in enumerate(assignment):
+            source = gate.fanin[pin]
+            cost = _add(cost, cc0[source] if value == ZERO else cc1[source])
+        if cost < best[output]:
+            best[output] = cost
+    return best[ZERO], best[ONE]
+
+
+def _pin_sensitization(gate: Gate, pin: int, cc0: List[int], cc1: List[int]) -> int:
+    """Cheapest side-input assignment making the output sensitive to *pin*."""
+    arity = gate.arity
+    if arity > ENUMERATION_CAP:
+        return INF
+    others = [p for p in range(arity) if p != pin]
+    best = INF
+    for assignment in product((ZERO, ONE), repeat=len(others)):
+        inputs = [ZERO] * arity
+        for position, value in zip(others, assignment):
+            inputs[position] = value
+        inputs[pin] = ZERO
+        low = evaluate_gate(gate, inputs)
+        inputs[pin] = ONE
+        high = evaluate_gate(gate, inputs)
+        if low == high:
+            continue
+        cost = 0
+        for position, value in zip(others, assignment):
+            source = gate.fanin[position]
+            cost = _add(cost, cc0[source] if value == ZERO else cc1[source])
+        if cost < best:
+            best = cost
+    return best
+
+
+def scoap(circuit: Circuit) -> ScoapResult:
+    """Compute SCOAP controllabilities and observabilities for *circuit*."""
+    count = len(circuit.gates)
+    cc0 = [INF] * count
+    cc1 = [INF] * count
+    for pi in circuit.inputs:
+        cc0[pi] = cc1[pi] = 1
+
+    # Least fixpoint over the flip-flop cycles: combinational gates settle
+    # in one level-ordered sweep given source costs, flip-flops then relax
+    # from their D drivers (+1 for the clock cycle), repeat until stable.
+    changed = True
+    while changed:
+        changed = False
+        for index in circuit.order:
+            gate = circuit.gates[index]
+            new0, new1 = _gate_controllability(gate, cc0, cc1)
+            if new0 < cc0[index]:
+                cc0[index] = new0
+                changed = True
+            if new1 < cc1[index]:
+                cc1[index] = new1
+                changed = True
+        for ff in circuit.dffs:
+            source = circuit.gates[ff].fanin[0]
+            new0 = _add(cc0[source], 1)
+            new1 = _add(cc1[source], 1)
+            if new0 < cc0[ff]:
+                cc0[ff] = new0
+                changed = True
+            if new1 < cc1[ff]:
+                cc1[ff] = new1
+                changed = True
+
+    co = [INF] * count
+    for po in circuit.outputs:
+        co[po] = 0
+    changed = True
+    while changed:
+        changed = False
+        for index in reversed(circuit.order):
+            gate = circuit.gates[index]
+            if co[index] >= INF:
+                continue
+            for pin in range(gate.arity):
+                source = gate.fanin[pin]
+                candidate = _add(co[index], _pin_sensitization(gate, pin, cc0, cc1), 1)
+                if candidate < co[source]:
+                    co[source] = candidate
+                    changed = True
+        for ff in circuit.dffs:
+            source = circuit.gates[ff].fanin[0]
+            candidate = _add(co[ff], 1)
+            if candidate < co[source]:
+                co[source] = candidate
+                changed = True
+
+    return ScoapResult(cc0=tuple(cc0), cc1=tuple(cc1), co=tuple(co))

@@ -1,0 +1,180 @@
+"""Structural-untestability analysis: prune provably-undetectable faults.
+
+Two sound structural facts identify faults no pattern sequence can ever
+detect — not even potentially (an X at an observed output):
+
+* **Unobservable site** — if no path of fanout edges leads from the
+  fault's site gate to any primary output, the faulty machine's divergence
+  can never reach an observed line.  Fanout edges include flip-flop D
+  inputs, so multi-cycle propagation through state is fully accounted for.
+* **Constant masking** — three-valued constant propagation with *every*
+  source (primary input and flip-flop) held at X computes, per line, a
+  value that holds in every machine state of every cycle (monotonicity of
+  the three-valued algebra: refining X inputs can only refine outputs).
+  A fault that forces a line to the value the line provably always has —
+  or whose forced pin provably never changes its gate's definite output —
+  produces a faulty machine whose observable behaviour is identical to
+  the good machine's.
+
+Both facts hold uniformly across engines (csim variants, PROOFS, serial,
+parallel shards): detection results on the *surviving* faults are
+bit-identical to an unpruned run, because per-fault outcomes are
+independent — the same property the fault-sharded parallel runner already
+relies on.
+
+Deliberately **not** used for pruning: SCOAP scores (finite vs. infinite
+cost is a heuristic boundary, see :mod:`repro.analyze.scoap`) and any
+flip-flop fixpoint refinement of the constant analysis (first-cycle
+flip-flops genuinely hold X, so assuming settled constants for them would
+be unsound for potential detections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.circuit.netlist import Circuit, evaluate_gate
+from repro.faults.model import OUTPUT_PIN, Fault, FaultKind
+from repro.logic.tables import COMBINATIONAL_TYPES
+from repro.logic.values import ONE, X, ZERO
+
+#: Reason codes attached to pruned faults.
+UNOBSERVABLE = "unobservable"
+CONSTANT_LINE = "constant-line"
+MASKED = "masked-by-constant"
+
+
+def observable_gates(circuit: Circuit) -> Set[int]:
+    """Gate indices from which some primary output is structurally
+    reachable (reverse reachability over fanin edges, which crosses
+    flip-flops through their D pins)."""
+    reachable: Set[int] = set(circuit.outputs)
+    stack: List[int] = list(circuit.outputs)
+    gates = circuit.gates
+    while stack:
+        index = stack.pop()
+        for source in gates[index].fanin:
+            if source not in reachable:
+                reachable.add(source)
+                stack.append(source)
+    return reachable
+
+
+def constant_values(circuit: Circuit) -> List[int]:
+    """Per-gate three-valued value under all-X sources, one settle pass.
+
+    A definite entry is the value the line holds in every reachable state
+    of every machine; ``X`` means "varies or unknown".  Sources stay X by
+    construction (no flip-flop refinement — see the module docstring).
+    """
+    values = [X] * len(circuit.gates)
+    gates = circuit.gates
+    for index in circuit.order:
+        gate = gates[index]
+        values[index] = evaluate_gate(gate, [values[s] for s in gate.fanin])
+    return values
+
+
+@dataclass(frozen=True)
+class PrunedFault:
+    """One pruned fault and the structural reason it can never be seen."""
+
+    fault: Fault
+    reason: str
+
+
+@dataclass
+class PruneReport:
+    """Outcome of :func:`prune_untestable` over one fault list."""
+
+    circuit_name: str
+    kept: List[Fault] = field(default_factory=list)
+    pruned: List[PrunedFault] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.kept) + len(self.pruned)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the universe removed (0.0 when the list was empty)."""
+        return len(self.pruned) / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"pruned {len(self.pruned)}/{self.total} faults "
+            f"({100.0 * self.reduction:.1f}%) from {self.circuit_name!r}"
+        )
+
+
+def _prune_reason_stuck_at(
+    circuit: Circuit, fault: Fault, observable: Set[int], constants: Sequence[int]
+) -> str:
+    gate = circuit.gates[fault.gate]
+    if fault.gate not in observable:
+        return UNOBSERVABLE
+    forced = ZERO if fault.kind is FaultKind.STUCK_AT_0 else ONE
+    if fault.pin == OUTPUT_PIN:
+        if constants[fault.gate] == forced:
+            return CONSTANT_LINE
+        return ""
+    driver = gate.fanin[fault.pin]
+    if constants[driver] == forced:
+        # The forcing never changes the pin's value: identical machines.
+        return CONSTANT_LINE
+    if gate.gtype in COMBINATIONAL_TYPES:
+        inputs = [constants[s] for s in gate.fanin]
+        normal = evaluate_gate(gate, inputs)
+        inputs[fault.pin] = forced
+        faulty = evaluate_gate(gate, inputs)
+        if normal == faulty and normal != X:
+            # The gate's definite output provably absorbs the stuck pin.
+            return MASKED
+    return ""
+
+
+def _prune_reason_transition(
+    circuit: Circuit, fault: Fault, observable: Set[int], constants: Sequence[int]
+) -> str:
+    if fault.gate not in observable:
+        return UNOBSERVABLE
+    if fault.pin == OUTPUT_PIN:
+        line = fault.gate
+    else:
+        line = circuit.gates[fault.gate].fanin[fault.pin]
+    # A line that provably never leaves v cannot exhibit a delayed edge in
+    # the direction the fault slows: slow-to-rise on a constant-0 line and
+    # slow-to-fall on a constant-1 line hold the line at the value it has
+    # anyway (including against the initial-X previous value, where
+    # Table 1 yields exactly the settled constant).  The mirror cases
+    # (e.g. STR on a constant-1 line) are kept: the X power-up state can
+    # produce a divergent potential detection.
+    if fault.kind is FaultKind.SLOW_TO_RISE and constants[line] == ZERO:
+        return CONSTANT_LINE
+    if fault.kind is FaultKind.SLOW_TO_FALL and constants[line] == ONE:
+        return CONSTANT_LINE
+    return ""
+
+
+def prune_untestable(circuit: Circuit, faults: Sequence[Fault]) -> PruneReport:
+    """Split *faults* into survivors and provably-undetectable faults.
+
+    Handles stuck-at and transition faults (dispatching on
+    :class:`FaultKind`); survivors keep their original relative order, so
+    the pruned list drops into every engine, shard strategy and
+    checkpoint fingerprint unchanged.
+    """
+    observable = observable_gates(circuit)
+    constants = constant_values(circuit)
+    report = PruneReport(circuit_name=circuit.name)
+    for fault in faults:
+        if fault.kind in (FaultKind.SLOW_TO_RISE, FaultKind.SLOW_TO_FALL):
+            reason = _prune_reason_transition(circuit, fault, observable, constants)
+        else:
+            reason = _prune_reason_stuck_at(circuit, fault, observable, constants)
+        if reason:
+            report.pruned.append(PrunedFault(fault, reason))
+        else:
+            report.kept.append(fault)
+    return report

@@ -17,7 +17,7 @@ concurrent engine on combinational circuits.
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set
 
 from repro.circuit.netlist import Circuit, evaluate_gate
 from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault

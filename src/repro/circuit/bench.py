@@ -81,9 +81,9 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
                 kind = declaration.group("kind").upper()
                 signal = declaration.group("name")
                 if kind == "INPUT":
-                    builder.add_input(signal)
+                    builder.add_input(signal, line=line_number)
                 else:
-                    builder.set_output(signal)
+                    builder.set_output(signal, line=line_number)
                 continue
 
             assignment = _ASSIGN_RE.match(line)
@@ -103,9 +103,9 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
             if gtype is GateType.DFF:
                 if len(args) != 1:
                     raise NetlistError("DFF must have exactly one fanin")
-                builder.add_dff(signal, args[0])
+                builder.add_dff(signal, args[0], line=line_number)
             else:
-                builder.add_gate(signal, gtype, args)
+                builder.add_gate(signal, gtype, args, line=line_number)
         except NetlistError as exc:
             raise NetlistError(f"{name}:{line_number}: {exc}") from None
     try:

@@ -19,7 +19,7 @@ report against the hierarchy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.circuit.macro import Region
 from repro.circuit.netlist import Circuit, CircuitBuilder, NetlistError

@@ -27,6 +27,44 @@ class LevelizationError(NetlistError):
     """
 
 
+def find_cycle(circuit: Circuit, within: List[int]) -> List[int]:
+    """Locate one concrete combinational cycle among the gates *within*.
+
+    Iterative DFS restricted to the stuck subgraph; returns the gate indices
+    of the cycle with the entry gate repeated at the end (``a -> b -> a``),
+    or an empty list when no cycle exists among *within*.
+    """
+    gates = circuit.gates
+    candidates = set(within)
+    color = {index: 0 for index in candidates}  # 0 white, 1 on stack, 2 done
+    for start in within:
+        if color[start] != 0:
+            continue
+        stack = [(start, iter(gates[start].fanin))]
+        color[start] = 1
+        path = [start]
+        while stack:
+            node, fanin_iter = stack[-1]
+            advanced = False
+            for src in fanin_iter:
+                if src not in candidates:
+                    continue
+                if color[src] == 1:
+                    cycle = path[path.index(src):] + [src]
+                    return cycle
+                if color[src] == 0:
+                    color[src] = 1
+                    path.append(src)
+                    stack.append((src, iter(gates[src].fanin)))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                path.pop()
+                stack.pop()
+    return []
+
+
 def levelize(circuit: Circuit) -> None:
     """Assign levels in-place and record the evaluation order on *circuit*.
 
@@ -72,13 +110,17 @@ def levelize(circuit: Circuit) -> None:
         1 for gate in gates if gate.gtype not in (GateType.INPUT, GateType.DFF)
     )
     if len(order) != expected:
-        stuck = [
-            gates[index].name
+        stuck_indices = [
+            index
             for index in range(len(gates))
             if pending[index] > 0 and gates[index].gtype not in (GateType.INPUT, GateType.DFF)
         ]
+        stuck = [gates[index].name for index in stuck_indices]
+        path = find_cycle(circuit, stuck_indices)
+        detail = f"; cycle: {' -> '.join(gates[i].name for i in path)}" if path else ""
         raise LevelizationError(
-            f"combinational cycle in {circuit.name!r} through gates: {', '.join(sorted(stuck)[:10])}"
+            f"combinational cycle in {circuit.name!r} through gates: "
+            f"{', '.join(sorted(stuck)[:10])}{detail}"
         )
 
     # Stable level-major order: Kahn's queue already emits non-decreasing

@@ -15,7 +15,7 @@ and fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.logic.tables import (
@@ -38,6 +38,9 @@ class Gate:
     ``MACRO`` gates: the packed-input truth table produced by macro
     extraction.  ``macro_gates`` records, for a macro, the original gate
     names it absorbed (used to report faults against the flat netlist).
+    ``line`` is the 1-based source line of the defining statement when the
+    gate came from a parsed netlist file (0 for programmatic construction);
+    lint diagnostics and netlist errors cite it.
     """
 
     index: int
@@ -49,6 +52,7 @@ class Gate:
     level: int = -1
     table: Optional[Tuple[int, ...]] = None
     macro_gates: Tuple[str, ...] = ()
+    line: int = 0
 
     @property
     def arity(self) -> int:
@@ -142,26 +146,35 @@ class CircuitBuilder:
         self.name = name
         self._gates: List[Tuple[str, GateType, Tuple[str, ...]]] = []
         self._by_name: Dict[str, int] = {}
+        self._lines: List[int] = []
         self._outputs: List[str] = []
+        self._output_lines: Dict[str, int] = {}
         self._macro_tables: Dict[str, Tuple[Tuple[int, ...], Tuple[str, ...]]] = {}
 
-    def _define(self, name: str, gtype: GateType, fanin: Sequence[str]) -> None:
+    def _define(
+        self, name: str, gtype: GateType, fanin: Sequence[str], line: int = 0
+    ) -> None:
         if name in self._by_name:
-            raise NetlistError(f"signal {name!r} defined twice")
+            first = self._lines[self._by_name[name]]
+            where = f" (first defined at line {first})" if first else ""
+            raise NetlistError(f"signal {name!r} defined twice{where}")
         self._by_name[name] = len(self._gates)
         self._gates.append((name, gtype, tuple(fanin)))
+        self._lines.append(line)
 
     # -- element constructors -------------------------------------------
 
-    def add_input(self, name: str) -> None:
+    def add_input(self, name: str, line: int = 0) -> None:
         """Declare a primary input."""
-        self._define(name, GateType.INPUT, ())
+        self._define(name, GateType.INPUT, (), line)
 
-    def add_dff(self, name: str, d_signal: str) -> None:
+    def add_dff(self, name: str, d_signal: str, line: int = 0) -> None:
         """Declare a D flip-flop whose output is *name* and input *d_signal*."""
-        self._define(name, GateType.DFF, (d_signal,))
+        self._define(name, GateType.DFF, (d_signal,), line)
 
-    def add_gate(self, name: str, gtype: GateType, fanin: Sequence[str]) -> None:
+    def add_gate(
+        self, name: str, gtype: GateType, fanin: Sequence[str], line: int = 0
+    ) -> None:
         """Declare a combinational gate driving signal *name*."""
         if gtype not in COMBINATIONAL_TYPES:
             raise NetlistError(f"{gtype} is not a combinational gate type")
@@ -173,7 +186,7 @@ class CircuitBuilder:
             raise NetlistError("use add_macro() for MACRO gates")
         if len(fanin) == 0 and gtype not in (GateType.CONST0, GateType.CONST1):
             raise NetlistError(f"gate {name!r} has no fanin")
-        self._define(name, gtype, fanin)
+        self._define(name, gtype, fanin, line)
 
     def add_macro(
         self,
@@ -191,8 +204,17 @@ class CircuitBuilder:
         self._define(name, GateType.MACRO, fanin)
         self._macro_tables[name] = (tuple(table), tuple(absorbed))
 
-    def set_output(self, name: str) -> None:
-        """Mark an existing or future signal as a primary output."""
+    def set_output(self, name: str, line: int = 0) -> None:
+        """Mark an existing or future signal as a primary output.
+
+        Duplicate OUTPUT declarations are rejected: they are always a netlist
+        authoring mistake and previously were silently deduplicated.
+        """
+        if name in self._output_lines:
+            first = self._output_lines[name]
+            where = f" (first declared at line {first})" if first else ""
+            raise NetlistError(f"output {name!r} declared twice{where}")
+        self._output_lines[name] = line
         self._outputs.append(name)
 
     # -- finalization ----------------------------------------------------
@@ -207,10 +229,14 @@ class CircuitBuilder:
         dffs: List[int] = []
 
         for index, (name, gtype, fanin_names) in enumerate(self._gates):
+            line = self._lines[index]
             fanin: List[int] = []
             for source in fanin_names:
                 if source not in index_of:
-                    raise NetlistError(f"gate {name!r} references undefined signal {source!r}")
+                    where = f" (line {line})" if line else ""
+                    raise NetlistError(
+                        f"gate {name!r} references undefined signal {source!r}{where}"
+                    )
                 fanin.append(index_of[source])
             table, absorbed = self._macro_tables.get(name, (None, ()))
             gates.append(
@@ -221,6 +247,7 @@ class CircuitBuilder:
                     fanin=tuple(fanin),
                     table=table,
                     macro_gates=absorbed,
+                    line=line,
                 )
             )
             if gtype is GateType.INPUT:
@@ -229,13 +256,11 @@ class CircuitBuilder:
                 dffs.append(index)
 
         outputs: List[int] = []
-        seen_outputs = set()
         for name in self._outputs:
             if name not in index_of:
-                raise NetlistError(f"output {name!r} is not a defined signal")
-            if name in seen_outputs:
-                continue
-            seen_outputs.add(name)
+                decl = self._output_lines.get(name, 0)
+                where = f" (declared at line {decl})" if decl else ""
+                raise NetlistError(f"output {name!r} is not a defined signal{where}")
             outputs.append(index_of[name])
         if not outputs:
             raise NetlistError(f"circuit {self.name!r} declares no primary outputs")

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
-from repro.logic.tables import GateType
 
 
 @dataclass(frozen=True)

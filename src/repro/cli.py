@@ -3,10 +3,17 @@
 Commands
 --------
 ``stats``           circuit statistics and fault counts (Table 2 shape)
+``lint``            static netlist diagnostics (``file:line``-located)
 ``simulate``        stuck-at fault simulation with any engine
 ``transition``      transition-fault simulation (two-pass concurrent)
 ``generate-tests``  coverage-directed test generation
 ``tables``          regenerate the paper's evaluation tables
+
+``lint`` exits 0 when the netlist is clean at the chosen severity, 1 when
+it has findings and 2 on usage or parse errors.  ``simulate``,
+``transition`` and ``tables`` accept ``--prune-untestable`` (drop
+structurally untestable faults; survivor detections are bit-identical)
+and ``--sanitize`` (fault-list invariant checks at every phase boundary).
 
 Circuits are named (``s27``, ``s298`` ... — synthetic stand-ins except the
 embedded real ``s27``) or paths to ISCAS-89 ``.bench`` files.  Test sets
@@ -17,6 +24,7 @@ are text files with one ``0/1/X`` vector per line (PI order), produced by
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -26,7 +34,12 @@ from repro.circuit.stats import circuit_stats
 from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
 from repro.harness.reporting import format_table
-from repro.harness.runner import ENGINE_NAMES, run_stuck_at, run_transition
+from repro.harness.runner import (
+    ENGINE_NAMES,
+    engine_options,
+    run_stuck_at,
+    run_transition,
+)
 from repro.parallel.sharding import STRATEGIES
 from repro.patterns.atpg import generate_tests
 from repro.patterns.random_gen import random_sequence
@@ -178,6 +191,36 @@ def _check_parallel_args(args) -> None:
         raise ValueError("--ladder audits a single engine; use --jobs 1")
 
 
+def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prune-untestable",
+        action="store_true",
+        help="drop provably untestable faults (structural analysis) before "
+        "simulating; detections on the surviving faults are bit-identical",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="check fault-list invariants at every phase boundary "
+        "(concurrent engines only; debugging aid, does not change results)",
+    )
+
+
+def _pruned_faults(args, circuit, transition: bool):
+    """The fault list for the run: pruned when requested, else ``None``
+    (engines then build the full universe themselves)."""
+    if not args.prune_untestable:
+        return None
+    from repro.analyze import prune_untestable
+
+    universe = (
+        all_transition_faults(circuit) if transition else stuck_at_universe(circuit)
+    )
+    report = prune_untestable(circuit, universe)
+    print(f"# {report.summary()}", file=sys.stderr)
+    return report.kept
+
+
 def _add_test_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tests", help="vector file (one 0/1/X vector per line)")
     parser.add_argument(
@@ -213,6 +256,33 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static netlist diagnostics; exit 0 clean / 1 findings / 2 errors."""
+    from repro.analyze import has_findings, lint_bench_text, lint_circuit, lint_path
+
+    if os.path.isfile(args.circuit):
+        name = args.circuit
+        diagnostics = lint_path(args.circuit)
+    elif args.circuit == "s27":
+        from repro.circuit.library import S27_BENCH
+
+        name = "s27"
+        diagnostics = lint_bench_text(S27_BENCH, name)
+    else:
+        circuit = load(args.circuit, scale=args.scale)
+        name = circuit.name
+        diagnostics = lint_circuit(circuit)
+    if args.format == "json":
+        from repro.obs import write_diagnostics_json
+
+        write_diagnostics_json(diagnostics, sys.stdout)
+    else:
+        from repro.obs import format_diagnostics
+
+        print(format_diagnostics(diagnostics, name))
+    return 1 if has_findings(diagnostics, fail_on=args.fail_on) else 0
+
+
 def cmd_simulate(args) -> int:
     _check_robust_args(args)
     _check_parallel_args(args)
@@ -220,10 +290,25 @@ def cmd_simulate(args) -> int:
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
     budget = _make_budget(args)
+    faults = _pruned_faults(args, circuit, transition=False)
+    options = None
+    if args.sanitize:
+        if args.ladder:
+            raise ValueError(
+                "--ladder picks its own engines; --sanitize needs a fixed one"
+            )
+        base = engine_options(args.engine)
+        if base is None:
+            raise ValueError(
+                f"--sanitize requires a concurrent engine (csim*), not {args.engine!r}"
+            )
+        options = base.with_(sanitize=True)
     if args.ladder:
         if args.checkpoint:
             raise ValueError("--ladder and --checkpoint are mutually exclusive")
-        result = run_with_ladder(circuit, tests, tracer=tracer, budget=budget)
+        result = run_with_ladder(
+            circuit, tests, faults=faults, tracer=tracer, budget=budget
+        )
     elif args.checkpoint and args.jobs > 1:
         from repro.parallel import run_parallel
 
@@ -231,6 +316,8 @@ def cmd_simulate(args) -> int:
             circuit,
             tests,
             args.engine,
+            faults=faults,
+            options=options,
             jobs=args.jobs,
             shard_strategy=args.shard_strategy,
             budget=budget,
@@ -244,6 +331,8 @@ def cmd_simulate(args) -> int:
             circuit,
             tests,
             args.engine,
+            faults=faults,
+            options=options,
             tracer=tracer,
             budget=budget,
             checkpoint_path=args.checkpoint,
@@ -255,6 +344,8 @@ def cmd_simulate(args) -> int:
             circuit,
             tests,
             args.engine,
+            faults=faults,
+            options=options,
             tracer=tracer,
             budget=budget,
             jobs=args.jobs,
@@ -277,6 +368,12 @@ def cmd_transition(args) -> int:
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
     budget = _make_budget(args)
+    faults = _pruned_faults(args, circuit, transition=True)
+    options = None
+    if args.sanitize:
+        from repro.concurrent.options import SimOptions
+
+        options = SimOptions(split_lists=True, sanitize=True)
     if args.checkpoint and args.jobs > 1:
         from repro.parallel import run_parallel
 
@@ -284,6 +381,8 @@ def cmd_transition(args) -> int:
             circuit,
             tests,
             transition=True,
+            faults=faults,
+            options=options,
             jobs=args.jobs,
             shard_strategy=args.shard_strategy,
             budget=budget,
@@ -297,6 +396,8 @@ def cmd_transition(args) -> int:
             circuit,
             tests,
             transition=True,
+            faults=faults,
+            options=options,
             tracer=tracer,
             budget=budget,
             checkpoint_path=args.checkpoint,
@@ -307,10 +408,12 @@ def cmd_transition(args) -> int:
         result = run_transition(
             circuit,
             tests,
+            faults=faults,
             tracer=tracer,
             budget=budget,
             jobs=args.jobs,
             shard_strategy=args.shard_strategy,
+            sanitize=args.sanitize,
         )
     print(result.summary())
     _emit_observability(args, result, circuit, tracer)
@@ -344,7 +447,12 @@ def cmd_tables(args) -> int:
     campaign = None
     if args.checkpoint:
         fingerprint = config_fingerprint(
-            "tables", args.scale, bool(args.quick), bool(args.deterministic)
+            "tables",
+            args.scale,
+            bool(args.quick),
+            bool(args.deterministic),
+            bool(args.prune_untestable),
+            bool(args.sanitize),
         )
         campaign = TableCampaign(
             args.checkpoint, resume=args.resume, fingerprint=fingerprint
@@ -356,6 +464,8 @@ def cmd_tables(args) -> int:
             campaign=campaign,
             deterministic=args.deterministic,
             jobs=args.jobs,
+            prune_untestable=args.prune_untestable,
+            sanitize=args.sanitize,
         )
     )
     return 0
@@ -372,6 +482,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="circuit statistics and fault counts")
     _add_circuit_arg(stats)
     stats.set_defaults(handler=cmd_stats)
+
+    lint = commands.add_parser(
+        "lint", help="static netlist diagnostics (undriven nets, cycles, ...)"
+    )
+    _add_circuit_arg(lint)
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="lowest severity that makes the exit code 1 (default error)",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     simulate = commands.add_parser("simulate", help="stuck-at fault simulation")
     _add_circuit_arg(simulate)
@@ -391,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(simulate)
     _add_robust_args(simulate)
     _add_parallel_args(simulate)
+    _add_analyze_args(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     transition = commands.add_parser(
@@ -401,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(transition)
     _add_robust_args(transition)
     _add_parallel_args(transition)
+    _add_analyze_args(transition)
     transition.set_defaults(handler=cmd_transition)
 
     gen = commands.add_parser(
@@ -438,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="compute table cells in K worker processes (default 1)",
     )
+    _add_analyze_args(tables)
     tables.set_defaults(handler=cmd_tables)
 
     return parser

@@ -24,7 +24,7 @@ its site gate:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.faults.model import Fault, FaultKind

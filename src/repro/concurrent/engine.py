@@ -57,7 +57,7 @@ from repro.logic.tables import (
     packed_table,
     unpack_inputs,
 )
-from repro.logic.values import ONE, X, ZERO
+from repro.logic.values import X
 from repro.obs.tracer import Tracer
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
 
@@ -164,6 +164,12 @@ class ConcurrentFaultSimulator:
         self._build_eval_tables()
         self._build_descriptors()
         self.reset()
+        if options.sanitize:
+            from repro.analyze.sanitize import FaultListSanitizer
+
+            self._sanitizer: Optional[FaultListSanitizer] = FaultListSanitizer(self)
+        else:
+            self._sanitizer = None
 
     def _build_eval_tables(self) -> None:
         """Attach the (shared, memoized) per-gate lookup tables."""
@@ -369,6 +375,12 @@ class ConcurrentFaultSimulator:
             raise ValueError(
                 f"vector has {len(vector)} values for {len(circuit.inputs)} inputs"
             )
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            # Checking *before* the cycle starts pins a corruption seeded
+            # between steps (a bad restore, a chaos injection) to this
+            # boundary instead of letting it crash mid-settle.
+            sanitizer.check("pre-cycle")
         self.cycle += 1
         self.counters.cycles += 1
         trace = self.tracer
@@ -397,9 +409,15 @@ class ConcurrentFaultSimulator:
             for position, pi_index in enumerate(circuit.inputs):
                 self._apply_source(pi_index, vector[position])
             self._settle()
+            if sanitizer is not None:
+                sanitizer.check("settle")
             self.memory.note_elements(self._live_elements)
             newly_detected = self._detect()
+            if sanitizer is not None:
+                sanitizer.check("detect")
             self._clock()
+            if sanitizer is not None:
+                sanitizer.check("clock")
             self.memory.note_elements(self._live_elements)
             return newly_detected
 
@@ -410,13 +428,19 @@ class ConcurrentFaultSimulator:
         t1 = time.perf_counter()
         trace.phase_time("apply", t1 - t0)
         self._settle()
+        if sanitizer is not None:
+            sanitizer.check("settle")
         t2 = time.perf_counter()
         trace.phase_time("settle", t2 - t1)
         self.memory.note_elements(self._live_elements)
         newly_detected = self._detect()
+        if sanitizer is not None:
+            sanitizer.check("detect")
         t3 = time.perf_counter()
         trace.phase_time("detect", t3 - t2)
         self._clock()
+        if sanitizer is not None:
+            sanitizer.check("clock")
         trace.phase_time("clock", time.perf_counter() - t3)
         self.memory.note_elements(self._live_elements)
         if trace.enabled:

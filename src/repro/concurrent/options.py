@@ -32,6 +32,11 @@ class SimOptions:
     ``element_bytes`` / ``descriptor_bytes``
         Memory model used to report megabyte figures comparable in shape
         to the paper's tables.
+    ``sanitize``
+        Run the fault-list sanitizer
+        (:class:`repro.analyze.sanitize.FaultListSanitizer`) at every
+        phase boundary.  Opt-in debugging aid; does not change results or
+        the variant name, only adds invariant scans.
     """
 
     split_lists: bool = False
@@ -40,6 +45,7 @@ class SimOptions:
     drop_detected: bool = True
     element_bytes: int = 12
     descriptor_bytes: int = 20
+    sanitize: bool = False
 
     @property
     def variant_name(self) -> str:

@@ -42,7 +42,6 @@ from repro.concurrent.engine import ConcurrentFaultSimulator
 from repro.concurrent.options import SimOptions
 from repro.faults.model import Fault, OUTPUT_PIN
 from repro.faults.transition import TransitionFault, all_transition_faults, delayed_value
-from repro.logic.tables import GateType
 
 
 class TransitionFaultSimulator(ConcurrentFaultSimulator):
@@ -143,6 +142,9 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
             raise ValueError(
                 f"vector has {len(vector)} values for {len(circuit.inputs)} inputs"
             )
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.check("pre-cycle")
         self.cycle += 1
         self.counters.cycles += 1
         trace = self.tracer
@@ -167,12 +169,16 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
             self._apply_source(pi_index, vector[position])
         self._settle()
         self._record_evaluated = None
+        if sanitizer is not None:
+            sanitizer.check("sample")
         self.memory.note_elements(self._live_elements)
         if trace is not None:
             t1 = time.perf_counter()
             trace.phase_time("sample", t1 - t0)
 
         newly_detected = self._detect()
+        if sanitizer is not None:
+            sanitizer.check("detect")
         if trace is not None:
             t2 = time.perf_counter()
             trace.phase_time("detect", t2 - t1)
@@ -209,6 +215,8 @@ class TransitionFaultSimulator(ConcurrentFaultSimulator):
         # transition holds into the next sampling window.
         self._refresh_previous_values()
         self._commit_ff_updates(pending)
+        if sanitizer is not None:
+            sanitizer.check("commit")
         self.memory.note_elements(self._live_elements)
         if trace is not None:
             if trace.enabled:

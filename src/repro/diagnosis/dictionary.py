@@ -21,7 +21,7 @@ tester comparison against an X is not reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.circuit.netlist import Circuit

@@ -38,6 +38,16 @@ _OPTIONS_BY_NAME = {
 }
 
 
+def engine_options(engine: str) -> Optional[SimOptions]:
+    """The :class:`SimOptions` behind a named concurrent variant.
+
+    ``None`` for engines without an options object (``PROOFS``,
+    ``serial``) — callers use this to tell which engines can take
+    option-level knobs such as ``sanitize``.
+    """
+    return _OPTIONS_BY_NAME.get(engine)
+
+
 def make_stuck_at_simulator(
     circuit: Circuit,
     engine: str = "csim-MV",
@@ -119,8 +129,11 @@ def run_transition(
     budget=None,
     jobs: int = 1,
     shard_strategy: str = "round-robin",
+    sanitize: bool = False,
 ) -> FaultSimResult:
     """Run transition-fault simulation (concurrent by default)."""
+    if serial and sanitize:
+        raise ValueError("the serial transition oracle has no fault lists to sanitize")
     if jobs > 1 and not serial:
         from repro.parallel.runner import run_parallel
 
@@ -129,7 +142,7 @@ def run_transition(
             tests,
             transition=True,
             faults=faults,
-            options=SimOptions(split_lists=split_lists),
+            options=SimOptions(split_lists=split_lists, sanitize=sanitize),
             jobs=jobs,
             shard_strategy=shard_strategy,
             budget=budget,
@@ -137,7 +150,7 @@ def run_transition(
         )
     if serial:
         return simulate_serial_transition(circuit, tests.vectors, faults)
-    options = SimOptions(split_lists=split_lists)
+    options = SimOptions(split_lists=split_lists, sanitize=sanitize)
     simulator = TransitionFaultSimulator(circuit, faults, options, tracer=tracer)
     return simulator.run(tests, budget=budget)
 
@@ -148,6 +161,7 @@ def compare_engines(
     engines: Iterable[str] = ("csim-V", "csim-M", "csim-MV", "PROOFS"),
     faults: Optional[Iterable[StuckAtFault]] = None,
     tracer_factory: Optional[Callable[[str], Optional[Tracer]]] = None,
+    sanitize: bool = False,
 ) -> List[FaultSimResult]:
     """Run several engines on the identical workload (the Tables 3/4 shape).
 
@@ -155,6 +169,8 @@ def compare_engines(
     table with silently inconsistent engines would be meaningless.
     ``tracer_factory`` is called once per engine name to supply a fresh
     tracer (or ``None``); each result then carries its own telemetry.
+    ``sanitize`` arms the fault-list sanitizer on every concurrent engine
+    in the lineup (engines without fault lists run unchanged).
     """
     fault_list = sorted(faults) if faults is not None else stuck_at_universe(circuit)
     results = [
@@ -163,6 +179,11 @@ def compare_engines(
             tests,
             engine,
             fault_list,
+            options=(
+                _OPTIONS_BY_NAME[engine].with_(sanitize=True)
+                if sanitize and engine in _OPTIONS_BY_NAME
+                else None
+            ),
             tracer=tracer_factory(engine) if tracer_factory else None,
         )
         for engine in engines

@@ -24,19 +24,15 @@ check diffs — is byte-identical to a single-process run.
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.circuit.library import (
-    TABLE3_CIRCUITS,
-    TABLE4_CIRCUITS,
-    TABLE5_CIRCUIT,
-    TABLE6_CIRCUITS,
-)
+from repro.circuit.library import TABLE5_CIRCUIT
 from repro.circuit.stats import circuit_stats
 from repro.faults.universe import stuck_at_universe
 from repro.harness.reporting import format_table
 from repro.harness.runner import (
     compare_engines,
+    engine_options,
     run_stuck_at,
     run_transition,
     workload_circuit,
@@ -51,6 +47,13 @@ def _tracer_factory(telemetry: bool):
     if not telemetry:
         return None
     return lambda engine: RecordingTracer()
+
+
+def _pruned(circuit, faults):
+    """Drop the structurally untestable faults from *faults* (``--prune``)."""
+    from repro.analyze import prune_untestable
+
+    return prune_untestable(circuit, faults).kept
 
 
 def _cell(campaign, key, compute):
@@ -100,10 +103,12 @@ Row = Dict[str, object]
 _TABLE3_ENGINES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS")
 
 
-def _table2_cell(name: str, scale: float, seed: int) -> Row:
+def _table2_cell(name: str, scale: float, seed: int, prune: bool = False) -> Row:
     circuit = workload_circuit(name, scale)
     stats = circuit_stats(circuit)
     faults = stuck_at_universe(circuit)
+    if prune:
+        faults = _pruned(circuit, faults)
     tests = workload_tests(name, scale, "deterministic", seed=seed)
     return {
         "circuit": name,
@@ -118,7 +123,13 @@ def _table2_cell(name: str, scale: float, seed: int) -> Row:
 
 
 def _table3_cell(
-    name: str, scale: float, seed: int, telemetry: bool, deterministic: bool
+    name: str,
+    scale: float,
+    seed: int,
+    telemetry: bool,
+    deterministic: bool,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Row:
     circuit = workload_circuit(name, scale)
     tests = workload_tests(name, scale, "deterministic", seed=seed)
@@ -126,7 +137,9 @@ def _table3_cell(
         circuit,
         tests,
         _TABLE3_ENGINES,
+        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
         tracer_factory=_tracer_factory(telemetry),
+        sanitize=sanitize,
     )
     row: Row = {
         "circuit": name,
@@ -142,7 +155,13 @@ def _table3_cell(
 
 
 def _table4_cell(
-    name: str, scale: float, seed: int, telemetry: bool, deterministic: bool
+    name: str,
+    scale: float,
+    seed: int,
+    telemetry: bool,
+    deterministic: bool,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Row:
     circuit = workload_circuit(name, scale)
     tests = workload_tests(name, scale, "deterministic-high", seed=seed)
@@ -150,7 +169,9 @@ def _table4_cell(
         circuit,
         tests,
         ("csim-MV", "PROOFS"),
+        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
         tracer_factory=_tracer_factory(telemetry),
+        sanitize=sanitize,
     )
     csim_mv, proofs = results
     row: Row = {
@@ -174,6 +195,8 @@ def _table5_cell(
     seed: int,
     telemetry: bool,
     deterministic: bool,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Row:
     circuit = workload_circuit(circuit_name, scale)
     tests = workload_tests(circuit_name, scale, "random", length=count, seed=seed)
@@ -181,7 +204,9 @@ def _table5_cell(
         circuit,
         tests,
         ("csim-MV", "PROOFS"),
+        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
         tracer_factory=_tracer_factory(telemetry),
+        sanitize=sanitize,
     )
     csim_mv, proofs = results
     row: Row = {
@@ -199,19 +224,34 @@ def _table5_cell(
 
 
 def _table6_cell(
-    name: str, scale: float, seed: int, telemetry: bool, deterministic: bool
+    name: str,
+    scale: float,
+    seed: int,
+    telemetry: bool,
+    deterministic: bool,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Row:
     circuit = workload_circuit(name, scale)
     tests = workload_tests(name, scale, "deterministic", seed=seed)
     faults = workload_transition_faults(name, scale)
+    if prune:
+        faults = _pruned(circuit, faults)
     result = run_transition(
         circuit,
         tests,
         split_lists=True,
         faults=faults,
         tracer=RecordingTracer() if telemetry else None,
+        sanitize=sanitize,
     )
-    stuck = run_stuck_at(circuit, tests, "csim-MV")
+    stuck = run_stuck_at(
+        circuit,
+        tests,
+        "csim-MV",
+        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
+        options=engine_options("csim-MV").with_(sanitize=True) if sanitize else None,
+    )
     row: Row = {
         "circuit": name,
         "faults": len(faults),
@@ -246,10 +286,13 @@ def table2(
     scale: float = 1.0,
     seed: int = DEFAULT_SEED,
     campaign=None,
+    prune: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 2 — benchmark circuit statistics and the tests applied."""
     rows: List[Row] = [
-        _cell(campaign, ("table2", name), partial(_table2_cell, name, scale, seed))
+        _cell(
+            campaign, ("table2", name), partial(_table2_cell, name, scale, seed, prune)
+        )
         for name in circuits
     ]
     text = format_table(
@@ -270,6 +313,8 @@ def table3(
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 3 — deterministic patterns (I): CPU and memory per engine.
 
@@ -287,7 +332,9 @@ def table3(
         _cell(
             campaign,
             ("table3", name),
-            partial(_table3_cell, name, scale, seed, telemetry, deterministic),
+            partial(
+                _table3_cell, name, scale, seed, telemetry, deterministic, prune, sanitize
+            ),
         )
         for name in circuits
     ]
@@ -317,6 +364,8 @@ def table4(
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 4 — deterministic patterns (II): higher-coverage test sets,
     csim-MV vs PROOFS."""
@@ -324,7 +373,9 @@ def table4(
         _cell(
             campaign,
             ("table4", name),
-            partial(_table4_cell, name, scale, seed, telemetry, deterministic),
+            partial(
+                _table4_cell, name, scale, seed, telemetry, deterministic, prune, sanitize
+            ),
         )
         for name in circuits
     ]
@@ -355,6 +406,8 @@ def table5(
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 5 — random-pattern simulation on the largest circuit.
 
@@ -367,7 +420,15 @@ def table5(
             campaign,
             ("table5", circuit_name, count),
             partial(
-                _table5_cell, circuit_name, scale, count, seed, telemetry, deterministic
+                _table5_cell,
+                circuit_name,
+                scale,
+                count,
+                seed,
+                telemetry,
+                deterministic,
+                prune,
+                sanitize,
             ),
         )
         for count in pattern_counts
@@ -397,6 +458,8 @@ def table6(
     telemetry: bool = False,
     campaign=None,
     deterministic: bool = False,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> Tuple[List[Row], str]:
     """Table 6 — transition-fault simulation of the stuck-at test sets.
 
@@ -407,7 +470,9 @@ def table6(
         _cell(
             campaign,
             ("table6", name),
-            partial(_table6_cell, name, scale, seed, telemetry, deterministic),
+            partial(
+                _table6_cell, name, scale, seed, telemetry, deterministic, prune, sanitize
+            ),
         )
         for name in circuits
     ]
@@ -434,6 +499,8 @@ def plan_cells(
     scale: float = 1.0,
     quick: bool = False,
     deterministic: bool = False,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> List[tuple]:
     """Every cell :func:`all_tables` computes, as ``(key, (table, args))``.
 
@@ -447,25 +514,46 @@ def plan_cells(
     seed = DEFAULT_SEED
     cells: List[tuple] = []
     for name in t3_circuits:
-        cells.append((("table2", name), ("table2", (name, scale, seed))))
+        cells.append((("table2", name), ("table2", (name, scale, seed, prune))))
     for name in t3_circuits:
         cells.append(
-            (("table3", name), ("table3", (name, scale, seed, False, deterministic)))
+            (
+                ("table3", name),
+                ("table3", (name, scale, seed, False, deterministic, prune, sanitize)),
+            )
         )
     for name in DEFAULT_TABLE4:
         cells.append(
-            (("table4", name), ("table4", (name, scale, seed, False, deterministic)))
+            (
+                ("table4", name),
+                ("table4", (name, scale, seed, False, deterministic, prune, sanitize)),
+            )
         )
     for count in t5_counts:
         cells.append(
             (
                 ("table5", TABLE5_CIRCUIT, count),
-                ("table5", (TABLE5_CIRCUIT, t5_scale, count, seed, False, deterministic)),
+                (
+                    "table5",
+                    (
+                        TABLE5_CIRCUIT,
+                        t5_scale,
+                        count,
+                        seed,
+                        False,
+                        deterministic,
+                        prune,
+                        sanitize,
+                    ),
+                ),
             )
         )
     for name in DEFAULT_TABLE6:
         cells.append(
-            (("table6", name), ("table6", (name, scale, seed, False, deterministic)))
+            (
+                ("table6", name),
+                ("table6", (name, scale, seed, False, deterministic, prune, sanitize)),
+            )
         )
     return cells
 
@@ -476,6 +564,8 @@ def prefill_cells(
     quick: bool = False,
     deterministic: bool = False,
     jobs: int = 1,
+    prune: bool = False,
+    sanitize: bool = False,
 ) -> int:
     """Fill a campaign's cell cache in parallel; returns cells computed.
 
@@ -486,7 +576,7 @@ def prefill_cells(
     """
     pending = [
         spec
-        for spec in plan_cells(scale, quick, deterministic)
+        for spec in plan_cells(scale, quick, deterministic, prune, sanitize)
         if spec[0] not in campaign.cells
     ]
     if not pending:
@@ -510,6 +600,8 @@ def all_tables(
     campaign=None,
     deterministic: bool = False,
     jobs: int = 1,
+    prune_untestable: bool = False,
+    sanitize: bool = False,
 ) -> str:
     """Run every table and return one combined report.
 
@@ -528,22 +620,43 @@ def all_tables(
             from repro.robust.runner import TableCampaign
 
             campaign = TableCampaign()
-        prefill_cells(campaign, scale, quick, deterministic, jobs)
+        prefill_cells(
+            campaign, scale, quick, deterministic, jobs, prune_untestable, sanitize
+        )
     t3_circuits = DEFAULT_TABLE4 if quick else DEFAULT_TABLE3
     sections = [
-        table2(t3_circuits, scale, campaign=campaign)[1],
-        table3(t3_circuits, scale, campaign=campaign, deterministic=deterministic)[1],
+        table2(t3_circuits, scale, campaign=campaign, prune=prune_untestable)[1],
+        table3(
+            t3_circuits,
+            scale,
+            campaign=campaign,
+            deterministic=deterministic,
+            prune=prune_untestable,
+            sanitize=sanitize,
+        )[1],
         table4(
-            DEFAULT_TABLE4, scale, campaign=campaign, deterministic=deterministic
+            DEFAULT_TABLE4,
+            scale,
+            campaign=campaign,
+            deterministic=deterministic,
+            prune=prune_untestable,
+            sanitize=sanitize,
         )[1],
         table5(
             scale=0.03 if quick else 0.05,
             pattern_counts=(100, 200) if quick else (200, 400, 800),
             campaign=campaign,
             deterministic=deterministic,
+            prune=prune_untestable,
+            sanitize=sanitize,
         )[1],
         table6(
-            DEFAULT_TABLE6, scale, campaign=campaign, deterministic=deterministic
+            DEFAULT_TABLE6,
+            scale,
+            campaign=campaign,
+            deterministic=deterministic,
+            prune=prune_untestable,
+            sanitize=sanitize,
         )[1],
     ]
     return "\n\n".join(sections)

@@ -32,9 +32,12 @@ Example::
 from repro.obs.metrics import Telemetry
 from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.obs.export import (
+    diagnostics_summary,
+    format_diagnostics,
     metrics_summary,
     profile_report,
     read_jsonl_trace,
+    write_diagnostics_json,
     write_jsonl_trace,
     write_metrics_json,
 )
@@ -44,9 +47,12 @@ __all__ = [
     "NULL_TRACER",
     "RecordingTracer",
     "Telemetry",
+    "diagnostics_summary",
+    "format_diagnostics",
     "metrics_summary",
     "profile_report",
     "read_jsonl_trace",
+    "write_diagnostics_json",
     "write_jsonl_trace",
     "write_metrics_json",
 ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from repro.circuit.netlist import Circuit
 from repro.concurrent.options import SimOptions

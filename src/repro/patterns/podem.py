@@ -26,9 +26,8 @@ generator in :mod:`repro.patterns.compaction`).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.circuit.netlist import Circuit, evaluate_gate
 from repro.faults.model import OUTPUT_PIN, StuckAtFault

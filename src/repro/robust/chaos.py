@@ -13,6 +13,12 @@ actually guard:
   live fault element at a chosen cycle; either the invariant checker
   flags it or the engine crashes on the poisoned value, and the ladder
   must recover either way.
+* :class:`FaultListChaos` — seeds exactly one fault-list invariant
+  violation (illegal value, dangling reference, split swap, counter
+  drift, order scramble, detected amnesia) between two cycles; the
+  fault-list sanitizer (:class:`repro.analyze.sanitize.FaultListSanitizer`,
+  armed via ``SimOptions.sanitize``) must flag it at the next phase
+  boundary.
 * :func:`truncate_file` — chops the tail off a checkpoint so the
   integrity check in :func:`repro.robust.checkpoint.read_checkpoint`
   must refuse it with a clean diagnostic.
@@ -155,6 +161,103 @@ class ElementCorruptionChaos(ConcurrentFaultSimulator):
                     self.corrupted = (gate_index, fid)
                     break
         return newly
+
+
+class FaultListChaos(ConcurrentFaultSimulator):
+    """A concurrent engine that corrupts one fault-list invariant.
+
+    After the cycle ``corrupt_at_cycle`` completes (or the first later
+    cycle where a suitable target exists), exactly one violation of the
+    chosen ``corruption`` class is seeded; ``applied`` records whether it
+    landed.  Run with ``SimOptions(sanitize=True)`` the engine's own
+    sanitizer must raise :class:`repro.analyze.sanitize.SanitizerError`
+    at the next pre-cycle boundary — one chaos class per invariant the
+    sanitizer documents:
+
+    ``illegal-value``
+        a visible element is overwritten with an out-of-domain value;
+    ``dangling-reference``
+        an element with an out-of-range fault id appears on a list;
+    ``split-swap``
+        a visible element is moved to the invisible list unchanged, so
+        the invisible side no longer mirrors the good machine;
+    ``counter-drift``
+        the live-element counter is bumped away from the population;
+    ``order-scramble``
+        a per-gate local fault list is reversed, breaking the strict
+        fault-id ordering;
+    ``detected-amnesia``
+        a detected descriptor forgets its detection while the result map
+        still records it.
+    """
+
+    CORRUPTIONS = (
+        "illegal-value",
+        "dangling-reference",
+        "split-swap",
+        "counter-drift",
+        "order-scramble",
+        "detected-amnesia",
+    )
+
+    ILLEGAL_VALUE = 9
+
+    def __init__(
+        self,
+        *args,
+        corruption: str = "illegal-value",
+        corrupt_at_cycle: int = 1,
+        **kwargs,
+    ) -> None:
+        if corruption not in self.CORRUPTIONS:
+            raise ValueError(
+                f"unknown corruption {corruption!r}; choose from {self.CORRUPTIONS}"
+            )
+        self._corruption = corruption
+        self._corrupt_at_cycle = corrupt_at_cycle
+        self.applied = False
+        super().__init__(*args, **kwargs)
+
+    def step(self, vector):
+        newly = super().step(vector)
+        if not self.applied and self.cycle >= self._corrupt_at_cycle:
+            self.applied = self._apply()
+        return newly
+
+    def _apply(self) -> bool:
+        kind = self._corruption
+        if kind == "illegal-value":
+            for bucket in self.vis:
+                if bucket:
+                    bucket[next(iter(bucket))] = self.ILLEGAL_VALUE
+                    return True
+            return False
+        if kind == "dangling-reference":
+            self.vis[0][len(self.descriptors) + 7] = self.ILLEGAL_VALUE
+            return True
+        if kind == "split-swap":
+            for gate_index, bucket in enumerate(self.vis):
+                if bucket:
+                    fid = next(iter(bucket))
+                    self.invis[gate_index][fid] = bucket.pop(fid)
+                    return True
+            return False
+        if kind == "counter-drift":
+            self._live_elements += 1
+            return True
+        if kind == "order-scramble":
+            for fids in self.local_faults.values():
+                if len(fids) >= 2:
+                    fids.reverse()
+                    return True
+            return False
+        if kind == "detected-amnesia":
+            for descriptor in self.descriptors:
+                if descriptor.detected:
+                    descriptor.detected = False
+                    return True
+            return False
+        raise AssertionError(f"unhandled corruption {kind!r}")
 
 
 def chaos_simulator_factory(kind: str, sabotage_engine: str = "csim-MV", **params):

@@ -23,7 +23,7 @@ from repro.baselines.serial import simulate_serial
 from repro.circuit.netlist import Circuit
 from repro.faults.universe import stuck_at_universe
 from repro.harness.runner import make_stuck_at_simulator
-from repro.logic.values import is_binary, X
+from repro.logic.values import is_binary
 from repro.patterns.vectors import TestSequence
 from repro.result import FaultSimResult
 from repro.robust.budget import Budget

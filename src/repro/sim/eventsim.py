@@ -187,7 +187,6 @@ class EventSimulator:
         self.run(until=deadline)
         outputs = tuple(self.values[index] for index in circuit.outputs)
         for ff_index in circuit.dffs:
-            gate = circuit.gates[ff_index]
             d_value = self._gate_inputs(ff_index)[0]
             self._post(deadline, ff_index, self._forced_output(ff_index, d_value))
         self.time = deadline

@@ -89,7 +89,6 @@ class LogicSimulator:
         circuit = self.circuit
         pending: List[Tuple[int, int]] = []
         for ff_index in circuit.dffs:
-            gate = circuit.gates[ff_index]
             d_value = self._gate_inputs(ff_index)[0]
             pending.append((ff_index, self._forced_output(ff_index, d_value)))
         for ff_index, value in pending:

@@ -63,6 +63,112 @@ class TestTransition:
         assert "csim-T" in capsys.readouterr().out
 
 
+class TestLint:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage/parse errors."""
+
+    def test_clean_circuit_exits_0(self, capsys):
+        assert main(["lint", "s27"]) == 0
+        assert "scoap" in capsys.readouterr().out  # infos still printed
+
+    def test_fail_on_info_exits_1(self, capsys):
+        assert main(["lint", "s27", "--fail-on", "info"]) == 1
+        capsys.readouterr()
+
+    def test_findings_exit_1_with_locations(self, tmp_path, capsys):
+        path = tmp_path / "bad.bench"
+        path.write_text("INPUT(a)\nOUTPUT(z)\nz = AND(a, missing)\n")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad:3: error:" in out
+        assert "undriven-net" in out
+
+    def test_cycle_path_reported(self, tmp_path, capsys):
+        path = tmp_path / "loop.bench"
+        path.write_text(
+            "INPUT(a)\nOUTPUT(g1)\ng1 = AND(g2, a)\ng2 = NOT(g1)\n"
+        )
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "combinational-cycle" in out
+        assert "->" in out
+
+    def test_warnings_pass_default_threshold(self, tmp_path, capsys):
+        path = tmp_path / "warn.bench"
+        path.write_text("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nw = NOT(z)\n")
+        assert main(["lint", str(path)]) == 0  # dangling net is a warning
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_circuit_exits_2(self, capsys):
+        assert main(["lint", "s99999"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_flag_usage_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "s27", "--fail-on", "catastrophe"])
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "s27", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == len(payload["diagnostics"])
+        assert all(
+            {"severity", "code", "message", "file", "line"} <= set(d)
+            for d in payload["diagnostics"]
+        )
+
+    @pytest.mark.parametrize("name", ("s298", "s344", "s1238"))
+    def test_shipped_benchmarks_clean(self, name, capsys):
+        assert main(["lint", name]) == 0
+        capsys.readouterr()
+
+
+class TestAnalyzeFlags:
+    def test_prune_untestable_identical_detections(self, capsys):
+        base = ["simulate", "s386", "--random-patterns", "30", "--seed", "3"]
+        assert main(base) == 0
+        full = capsys.readouterr().out
+        assert main(base + ["--prune-untestable"]) == 0
+        captured = capsys.readouterr()
+        assert "pruned" in captured.err
+        # Same detections; only the denominator (universe size) shrinks.
+        detected = full.split("/")[0]
+        assert captured.out.split("/")[0] == detected
+
+    def test_sanitize_runs_clean(self, capsys):
+        assert main(["simulate", "s27", "--random-patterns", "30",
+                     "--sanitize"]) == 0
+        assert "csim-MV" in capsys.readouterr().out
+
+    def test_sanitize_requires_concurrent_engine(self, capsys):
+        assert main(["simulate", "s27", "--engine", "PROOFS",
+                     "--sanitize"]) == 2
+        assert "concurrent engine" in capsys.readouterr().err
+
+    def test_sanitize_and_ladder_exit_2(self, capsys):
+        assert main(["simulate", "s27", "--ladder", "--sanitize"]) == 2
+        assert "--sanitize" in capsys.readouterr().err
+
+    def test_transition_flags_compose(self, capsys):
+        assert main(["transition", "s386", "--random-patterns", "20",
+                     "--prune-untestable", "--sanitize"]) == 0
+        captured = capsys.readouterr()
+        assert "pruned" in captured.err
+        assert "csim-TV" in captured.out
+
+    def test_pruned_checkpoint_resume_roundtrip(self, tmp_path, capsys):
+        base = ["simulate", "s386", "--random-patterns", "30", "--seed", "3",
+                "--prune-untestable"]
+        assert main(base) == 0
+        straight = _coverage_line(capsys.readouterr().out)
+        path = str(tmp_path / "ck.pkl")
+        assert main(base + ["--checkpoint", path, "--max-cycles", "10"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--checkpoint", path, "--resume"]) == 0
+        assert _coverage_line(capsys.readouterr().out) == straight
+
+
 class TestGenerateTests:
     def test_writes_vectors_to_stdout(self, capsys):
         assert main(["generate-tests", "s27", "--target", "0.5"]) == 0

@@ -9,7 +9,7 @@ from repro.baselines.deductive import deductive_detects, simulate_deductive
 from repro.circuit.generate import random_circuit
 from repro.circuit.library import load
 from repro.circuit.netlist import CircuitBuilder
-from repro.faults.model import OUTPUT_PIN, StuckAtFault
+
 from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
 from repro.logic.tables import GateType
 from repro.logic.values import ONE, X, ZERO

@@ -14,7 +14,6 @@ import pytest
 from repro.baselines.proofs import ProofsSimulator
 from repro.baselines.serial import simulate_serial
 from repro.circuit.generate import random_circuit
-from repro.circuit.library import load
 from repro.concurrent.engine import ConcurrentFaultSimulator
 from repro.concurrent.options import CSIM, CSIM_M, CSIM_MV, CSIM_V
 from repro.faults.universe import all_stuck_at_faults, stuck_at_universe

@@ -13,7 +13,6 @@ import pytest
 
 from repro.circuit.generate import random_circuit
 from repro.circuit.library import load
-from repro.circuit.macro import extract_macros
 from repro.concurrent.engine import ConcurrentFaultSimulator
 from repro.concurrent.event_engine import ConcurrentEventFaultSimulator
 from repro.concurrent.options import CSIM_MV, CSIM_V

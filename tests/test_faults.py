@@ -1,6 +1,5 @@
 """Fault model, universe enumeration, and equivalence collapsing."""
 
-import itertools
 import random
 
 import pytest

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit.bench import write_bench, parse_bench
+from repro.circuit.bench import write_bench
 from repro.circuit.generate import CircuitProfile, generate_circuit
 from repro.circuit.library import (
     ISCAS89_PROFILES,

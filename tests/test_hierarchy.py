@@ -1,6 +1,5 @@
 """Hierarchical netlists, flattening, and instance-boundary macros."""
 
-import random
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.concurrent.engine import ConcurrentFaultSimulator
 from repro.concurrent.options import CSIM_V, SimOptions
 from repro.faults.universe import stuck_at_universe
 from repro.logic.tables import GateType
-from repro.logic.values import ONE, ZERO
+
 from repro.patterns.random_gen import random_sequence
 from repro.sim.logicsim import LogicSimulator
 

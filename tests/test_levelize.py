@@ -5,9 +5,35 @@ import random
 import pytest
 
 from repro.circuit.generate import random_circuit
-from repro.circuit.levelize import LevelizationError, levelize
+from repro.circuit.levelize import LevelizationError, find_cycle, levelize
 from repro.circuit.netlist import Circuit, CircuitBuilder, Gate
 from repro.logic.tables import GateType
+
+
+def _two_gate_cycle():
+    """``g1 -> g2 -> g1`` with no flip-flop in between."""
+    gates = [
+        Gate(0, "a", GateType.INPUT, ()),
+        Gate(1, "g1", GateType.AND, (0, 2)),
+        Gate(2, "g2", GateType.NOT, (1,)),
+    ]
+    gates[0].fanout = (1,)
+    gates[1].fanout = (2,)
+    gates[2].fanout = (1,)
+    gates[2].is_output = True
+    return Circuit("cyclic", gates, [0], [2], [])
+
+
+def _self_loop():
+    """``g`` feeding its own input directly."""
+    gates = [
+        Gate(0, "a", GateType.INPUT, ()),
+        Gate(1, "g", GateType.AND, (0, 1)),
+    ]
+    gates[0].fanout = (1,)
+    gates[1].fanout = (1,)
+    gates[1].is_output = True
+    return Circuit("selfloop", gates, [0], [1], [])
 
 
 class TestLevels:
@@ -57,16 +83,52 @@ class TestLevels:
         assert circuit.gate("g").level == 1
 
     def test_combinational_cycle_detected(self):
-        # Build by hand: g1 -> g2 -> g1 with no flip-flop in between.
-        gates = [
-            Gate(0, "a", GateType.INPUT, ()),
-            Gate(1, "g1", GateType.AND, (0, 2)),
-            Gate(2, "g2", GateType.NOT, (1,)),
-        ]
-        gates[0].fanout = (1,)
-        gates[1].fanout = (2,)
-        gates[2].fanout = (1,)
-        gates[2].is_output = True
-        circuit = Circuit("cyclic", gates, [0], [2], [])
         with pytest.raises(LevelizationError, match="combinational cycle"):
-            levelize(circuit)
+            levelize(_two_gate_cycle())
+
+
+class TestCyclePaths:
+    """The error must print one concrete offending path, not just names."""
+
+    def test_two_gate_cycle_path_in_message(self):
+        with pytest.raises(LevelizationError) as excinfo:
+            levelize(_two_gate_cycle())
+        message = str(excinfo.value)
+        assert "cycle:" in message
+        # One rotation of the closed walk g1 -> g2 -> g1.
+        assert "g1 -> g2 -> g1" in message or "g2 -> g1 -> g2" in message
+
+    def test_self_loop_path_in_message(self):
+        with pytest.raises(LevelizationError) as excinfo:
+            levelize(_self_loop())
+        assert "g -> g" in str(excinfo.value)
+
+    def test_find_cycle_returns_closed_real_path(self):
+        circuit = _two_gate_cycle()
+        path = find_cycle(circuit, [1, 2])
+        assert len(path) >= 2
+        assert path[0] == path[-1]
+        for src, dst in zip(path, path[1:]):
+            assert src in circuit.gates[dst].fanin
+
+    def test_find_cycle_empty_on_acyclic_subgraph(self):
+        builder = CircuitBuilder("acyclic")
+        builder.add_input("a")
+        builder.add_gate("m", GateType.NOT, ["a"])
+        builder.add_gate("z", GateType.NOT, ["m"])
+        builder.set_output("z")
+        circuit = builder.build()
+        combinational = [g.index for g in circuit.gates if g.gtype is GateType.NOT]
+        assert find_cycle(circuit, combinational) == []
+
+    def test_dff_broken_long_loop_levelizes(self):
+        # a three-gate feedback path broken by a flip-flop is legal.
+        builder = CircuitBuilder("seqloop")
+        builder.add_input("a")
+        builder.add_dff("q", "g3")
+        builder.add_gate("g1", GateType.NAND, ["a", "q"])
+        builder.add_gate("g2", GateType.NOT, ["g1"])
+        builder.add_gate("g3", GateType.OR, ["g2", "a"])
+        builder.set_output("g3")
+        circuit = builder.build()  # levelizes inside build; must not raise
+        assert circuit.gate("g3").level == 3

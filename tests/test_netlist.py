@@ -76,11 +76,10 @@ class TestBuilder:
         with pytest.raises(NetlistError):
             builder.add_gate("g", GateType.DFF, ["a"])
 
-    def test_duplicate_output_collapses(self):
+    def test_duplicate_output_rejected(self):
         builder = tiny_builder()
-        builder.set_output("g")  # second time
-        circuit = builder.build()
-        assert len(circuit.outputs) == 1
+        with pytest.raises(NetlistError, match="output 'g' declared twice"):
+            builder.set_output("g")  # second time
 
 
 class TestCircuitViews:

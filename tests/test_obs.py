@@ -21,8 +21,6 @@ from repro import (
     CSIM_MV,
     ConcurrentEventFaultSimulator,
     ConcurrentFaultSimulator,
-    ProofsSimulator,
-    TransitionFaultSimulator,
     load_circuit,
 )
 from repro.baselines.cpt import simulate_cpt

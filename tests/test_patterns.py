@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.circuit.library import load
 from repro.concurrent.engine import ConcurrentFaultSimulator
 from repro.concurrent.options import CSIM_V
 from repro.logic.values import ONE, X, ZERO

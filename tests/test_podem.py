@@ -13,7 +13,7 @@ from repro.faults.model import OUTPUT_PIN, StuckAtFault
 from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
 from repro.logic.tables import GateType
 from repro.logic.values import ONE, X, ZERO
-from repro.patterns.podem import PodemResult, generate_deterministic_tests, podem
+from repro.patterns.podem import generate_deterministic_tests, podem
 
 
 def _comb(seed, gates=14):

@@ -1,12 +1,9 @@
 """PROOFS-specific behaviour: bit-parallel algebra, activity filter, groups."""
 
-import itertools
-import random
 
 import pytest
 
 from repro.baselines.proofs import ProofsSimulator
-from repro.circuit.generate import random_circuit
 from repro.circuit.library import load
 from repro.circuit.macro import extract_macros
 from repro.faults.model import OUTPUT_PIN, StuckAtFault

@@ -10,7 +10,6 @@ from repro.circuit.library import load
 from repro.circuit.netlist import CircuitBuilder
 from repro.concurrent.options import CSIM_MV, SimOptions
 from repro.concurrent.transition_engine import TransitionFaultSimulator
-from repro.faults.model import FaultKind
 from repro.faults.transition import TransitionFault, all_transition_faults
 from repro.logic.tables import GateType
 from repro.logic.values import ONE, ZERO
