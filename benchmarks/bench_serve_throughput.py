@@ -1,0 +1,193 @@
+"""Serve throughput — jobs/sec and latency percentiles for the service.
+
+Drives an in-process :class:`FaultSimService` (no HTTP, so the numbers
+measure the serving machinery, not socket overhead) with a mixed workload
+containing duplicate submissions, across worker counts and with the two
+amortization layers toggled:
+
+* ``batch+cache`` — request batching and the content-addressed result
+  cache enabled (the production configuration);
+* ``no-batch``    — ``max_batch=1``: every job pays its own setup;
+* ``no-cache``    — duplicates re-simulate instead of hitting the cache.
+
+For every configuration the BENCH json records jobs/sec, p50/p95
+end-to-end latency (submit to terminal state), and how many jobs actually
+simulated versus were served from cache.  Result bytes are asserted
+identical across all configurations — the whole point of the serving
+contract is that batching, caching and worker counts never change the
+answer.
+
+Workers are threads sharing the GIL, so CPU-bound simulation does not
+scale with worker count; the win measured here is amortization (cache
+hits, shared circuit setup), and the honest flat-line at higher worker
+counts is recorded as-is.
+
+Usage::
+
+    python benchmarks/bench_serve_throughput.py            # 1/4/8 workers
+    python benchmarks/bench_serve_throughput.py --quick    # CI-sized
+    python benchmarks/bench_serve_throughput.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import FaultSimService, ServeConfig
+
+CONFIGS = (
+    ("batch+cache", {"max_batch": 8, "cache_results": True}),
+    ("no-batch", {"max_batch": 1, "cache_results": True}),
+    ("no-cache", {"max_batch": 8, "cache_results": False}),
+)
+
+
+def workload(distinct: int, copies: int, patterns: int) -> list:
+    """*distinct* specs, each submitted *copies* times (duplicates hit cache)."""
+    payloads = []
+    for seed in range(distinct):
+        payloads.append(
+            {"circuit": "s27", "random_patterns": patterns, "seed": seed}
+        )
+    return [dict(payload) for payload in payloads for _ in range(copies)]
+
+
+def percentile(sorted_values: list, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def run_config(state_root: str, workers: int, options: dict, payloads: list) -> dict:
+    state_dir = os.path.join(state_root, f"w{workers}-" + "-".join(
+        f"{key}={value}" for key, value in sorted(options.items())
+    ))
+    service = FaultSimService(
+        ServeConfig(
+            state_dir=state_dir,
+            workers=workers,
+            queue_limit=len(payloads) + 8,
+            **options,
+        )
+    )
+    started = time.perf_counter()
+    records = [service.submit(dict(payload))[0] for payload in payloads]
+    if workers == 0:
+        service.drain()
+    else:
+        service.start()
+        deadline = time.time() + 600
+        while time.time() < deadline:
+            states = [service.status(record.job_id).state for record in records]
+            if all(state in ("done", "failed", "cancelled") for state in states):
+                break
+            time.sleep(0.01)
+        service.stop()
+    wall = time.perf_counter() - started
+
+    finals = [service.status(record.job_id) for record in records]
+    bad = [record.job_id for record in finals if record.state != "done"]
+    assert not bad, f"jobs did not finish clean: {bad}"
+    latencies = sorted(record.finished_at - record.created_at for record in finals)
+    metrics = service.metrics_snapshot()
+    blobs = {
+        record.job_id: service.result_bytes(record.job_id) for record in finals
+    }
+    return {
+        "wall_seconds": wall,
+        "jobs_per_sec": len(payloads) / wall,
+        "p50_seconds": percentile(latencies, 0.50),
+        "p95_seconds": percentile(latencies, 0.95),
+        "simulated": metrics["jobs"]["simulated"],
+        "cache_hits": metrics["cache"]["hits"],
+        "mean_batch_size": metrics["batch"]["mean_size"],
+        "_blobs": blobs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=None, metavar="N",
+        help="worker counts to measure (default 1 4 8; --quick: 1 2)",
+    )
+    parser.add_argument("--distinct", type=int, default=None, help="distinct specs")
+    parser.add_argument("--copies", type=int, default=2, help="copies of each spec")
+    parser.add_argument("--patterns", type=int, default=None, help="vectors per job")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized workload (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serve_throughput.json", help="BENCH json output path"
+    )
+    args = parser.parse_args(argv)
+
+    worker_counts = args.workers or ([1, 2] if args.quick else [1, 4, 8])
+    distinct = args.distinct or (6 if args.quick else 16)
+    patterns = args.patterns or (16 if args.quick else 48)
+    payloads = workload(distinct, args.copies, patterns)
+    print(
+        f"workload: {len(payloads)} jobs ({distinct} distinct x {args.copies} copies), "
+        f"{patterns} vectors each"
+    )
+
+    state_root = tempfile.mkdtemp(prefix="bench-serve-")
+    rows = []
+    reference_blobs = None
+    try:
+        for workers in worker_counts:
+            for label, options in CONFIGS:
+                measured = run_config(state_root, workers, options, payloads)
+                blobs = measured.pop("_blobs")
+                # Identity across every configuration: the workload's set of
+                # result documents must match the first configuration measured.
+                if reference_blobs is None:
+                    reference_blobs = set(blobs.values())
+                else:
+                    assert set(blobs.values()) == reference_blobs, (
+                        f"{label} w={workers} changed result bytes"
+                    )
+                row = {
+                    "workers": workers,
+                    "config": label,
+                    **{
+                        key: (round(value, 4) if isinstance(value, float) else value)
+                        for key, value in measured.items()
+                    },
+                }
+                rows.append(row)
+                print(
+                    f"  workers={workers} {label:12s} "
+                    f"{row['jobs_per_sec']:7.2f} jobs/s  "
+                    f"p50={row['p50_seconds']:.3f}s p95={row['p95_seconds']:.3f}s  "
+                    f"simulated={row['simulated']} hits={row['cache_hits']}"
+                )
+    finally:
+        shutil.rmtree(state_root, ignore_errors=True)
+
+    report = {
+        "benchmark": "serve_throughput",
+        "jobs": len(payloads),
+        "distinct_specs": distinct,
+        "copies": args.copies,
+        "patterns": patterns,
+        "results": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""End-to-end client for a running ``repro serve`` instance.
+
+Submits a mixed batch of jobs — several circuits, engines and seeds, with
+deliberate duplicates — then polls them to completion, fetches every
+result, and **asserts** the serving contract:
+
+* every fetched result is bit-identical to a direct in-process run of the
+  same inputs (the service may batch, shard or cache however it likes,
+  but the bytes must not change);
+* the duplicate submissions were served from the result cache without
+  re-simulation (``/metrics`` shows cache hits and fewer simulated jobs
+  than submitted jobs);
+* ``/healthz`` stays ok throughout.
+
+CI boots the server and runs this script against it::
+
+    python -m repro serve --port 8350 &
+    python examples/serve_client.py --base http://127.0.0.1:8350
+
+Exit code 0 means every assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.circuit.library import load
+from repro.harness.runner import run_stuck_at, run_transition
+from repro.patterns.random_gen import random_sequence
+from repro.serve import serialize_result
+
+#: The mixed workload: (payload, duplicate_count).  Duplicates are
+#: resubmitted verbatim, so each group shares one cache entry.
+WORKLOAD = [
+    ({"circuit": "s27", "random_patterns": 48, "seed": 1}, 3),
+    ({"circuit": "s27", "random_patterns": 48, "seed": 2, "engine": "csim"}, 1),
+    ({"circuit": "s27", "random_patterns": 32, "seed": 3, "engine": "PROOFS"}, 2),
+    ({"circuit": "s27", "random_patterns": 24, "seed": 4, "transition": True}, 2),
+    ({"circuit": "s298", "scale": 0.25, "random_patterns": 24, "seed": 5}, 2),
+    ({"circuit": "s27", "random_patterns": 48, "seed": 6, "jobs": 2}, 1),
+]
+
+
+def http(base: str, method: str, path: str, payload=None, timeout: float = 60.0):
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def wait_until_up(base: str, deadline_seconds: float) -> None:
+    deadline = time.time() + deadline_seconds
+    while time.time() < deadline:
+        try:
+            status, _ = http(base, "GET", "/healthz", timeout=2.0)
+            if status == 200:
+                return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.25)
+    raise SystemExit(f"server at {base} did not come up in {deadline_seconds}s")
+
+
+def direct_result(payload: dict) -> bytes:
+    """What a direct in-process run of *payload* produces, canonical bytes."""
+    circuit = load(payload["circuit"], scale=payload.get("scale", 1.0))
+    tests = random_sequence(circuit, payload["random_patterns"], seed=payload["seed"])
+    if payload.get("transition"):
+        result = run_transition(circuit, tests)
+    else:
+        result = run_stuck_at(circuit, tests, payload.get("engine", "csim-MV"))
+    return serialize_result(result, circuit)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", default="http://127.0.0.1:8350")
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-job wait")
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+    base = args.base.rstrip("/")
+
+    wait_until_up(base, args.startup_timeout)
+    print(f"server at {base} is up")
+
+    # -- submit the whole mix up front (duplicates included) ------------
+    submitted = []  # (job_id, payload)
+    for payload, copies in WORKLOAD:
+        for _ in range(copies):
+            status, body = http(base, "POST", "/jobs", payload)
+            assert status in (200, 201), f"submit failed: {status} {body!r}"
+            record = json.loads(body)
+            submitted.append((record["job_id"], payload))
+            print(f"  submitted {record['job_id']} state={record['state']}")
+    total = len(submitted)
+    distinct = len(WORKLOAD)
+    print(f"submitted {total} jobs ({distinct} distinct specs)")
+
+    # -- poll to completion --------------------------------------------
+    deadline = time.time() + args.timeout
+    pending = {job_id for job_id, _ in submitted}
+    while pending and time.time() < deadline:
+        for job_id in sorted(pending):
+            status, body = http(base, "GET", f"/jobs/{job_id}")
+            assert status == 200, f"status poll failed: {status}"
+            record = json.loads(body)
+            if record["state"] in ("done", "failed", "cancelled"):
+                assert record["state"] == "done", (
+                    f"{job_id} ended {record['state']}: {record.get('error')}"
+                )
+                pending.discard(job_id)
+        if pending:
+            time.sleep(0.2)
+    assert not pending, f"jobs never finished: {sorted(pending)}"
+    print(f"all {total} jobs done")
+
+    # -- bit-identity: every result equals the direct in-process run ----
+    for job_id, payload in submitted:
+        status, blob = http(base, "GET", f"/jobs/{job_id}/result")
+        assert status == 200, f"result fetch failed for {job_id}: {status}"
+        expected = direct_result(payload)
+        assert blob == expected, (
+            f"{job_id} differs from the direct run "
+            f"({len(blob)} vs {len(expected)} bytes)"
+        )
+    print(f"bit-identity: {total}/{total} results match direct in-process runs")
+
+    # -- cache: duplicates were answered without re-simulation ----------
+    status, body = http(base, "GET", "/metrics")
+    assert status == 200
+    metrics = json.loads(body)
+    expected_hits = total - distinct
+    simulated = metrics["jobs"]["simulated"]
+    hits = metrics["cache"]["hits"]
+    assert simulated == distinct, (
+        f"expected {distinct} simulated jobs, metrics report {simulated}"
+    )
+    assert hits >= expected_hits, (
+        f"expected >= {expected_hits} cache hits, metrics report {hits}"
+    )
+    print(
+        f"cache: {hits} hits, {simulated} simulated of {total} submitted "
+        f"(hit rate {metrics['cache']['hit_rate']:.2f})"
+    )
+
+    status, body = http(base, "GET", "/healthz")
+    assert status == 200 and json.loads(body)["status"] == "ok"
+    print("healthz ok — e2e PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ Commands
 ``transition``      transition-fault simulation (two-pass concurrent)
 ``generate-tests``  coverage-directed test generation
 ``tables``          regenerate the paper's evaluation tables
+``serve``           run the fault-simulation service (REST API + workers)
 
 ``lint`` exits 0 when the netlist is clean at the chosen severity, 1 when
 it has findings and 2 on usage or parse errors.  ``simulate``,
@@ -438,6 +439,45 @@ def cmd_generate_tests(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Boot the fault-simulation service and serve until interrupted."""
+    import tempfile
+
+    from repro.serve import FaultSimService, ServeConfig, make_server
+    from repro.serve.api import ServeHandler
+
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    config = ServeConfig(
+        state_dir=state_dir,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        checkpoint_every=args.checkpoint_every,
+        max_seconds_per_job=args.max_seconds_per_job,
+        cache_results=not args.no_cache,
+    )
+    service = FaultSimService(config)
+    recovered = service.recover()
+    if recovered:
+        print(f"# recovered {recovered} unfinished job(s)", file=sys.stderr)
+    service.start()
+    server = make_server(service, host=args.host, port=args.port)
+    if args.verbose:
+        ServeHandler.verbose = True
+    host, port = server.server_address[:2]
+    print(f"# repro serve: http://{host}:{port} "
+          f"({config.workers} worker(s), state in {state_dir})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    return 0
+
+
 def cmd_tables(args) -> int:
     from repro.harness import tables
 
@@ -471,11 +511,30 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def package_version() -> str:
+    """The installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - Python < 3.8
+        pass
+    from repro import __version__
+
+    return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Concurrent fault simulation for synchronous sequential "
         "circuits (Lee & Reddy, DAC 1992).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -571,6 +630,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze_args(tables)
     tables.set_defaults(handler=cmd_tables)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the fault-simulation service (async job queue + REST API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8350, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="worker threads (default 2)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queued-job bound; beyond it submissions get 429 (default 256)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max jobs coalesced into one circuit instantiation (default 8)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cycles between per-job checkpoint writes (default 16)",
+    )
+    serve.add_argument(
+        "--max-seconds-per-job",
+        type=float,
+        metavar="S",
+        help="wall-clock budget per job; breached jobs finish truncated",
+    )
+    serve.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        help="durable state (jobs, results, cache, checkpoints); "
+        "default: a fresh temporary directory",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    serve.set_defaults(handler=cmd_serve)
+
     return parser
 
 
@@ -587,10 +700,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     Anticipated errors — bad netlists, missing files, bad argument
     combinations, corrupt checkpoints (``CheckpointError`` is a
     ``ValueError``) — exit 2 with a one-line message instead of a
-    traceback.  Interrupts exit 130, printing where the campaign's
+    traceback.  Parse-time failures (unknown subcommand, bad flag values)
+    are converted from ``SystemExit`` to a returned code, so in-process
+    callers get ``2`` plus argparse's usage text rather than an
+    exception.  Interrupts exit 130, printing where the campaign's
     progress was saved and the exact command that resumes it.
     """
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse error (code 2) or --help/--version (0)
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
     try:
         return args.handler(args)
     except CampaignInterrupted as exc:

@@ -22,6 +22,11 @@ actually guard:
 * :func:`truncate_file` — chops the tail off a checkpoint so the
   integrity check in :func:`repro.robust.checkpoint.read_checkpoint`
   must refuse it with a clean diagnostic.
+* :func:`step_bomb` — patches an engine's ``step`` to die after N cycles
+  (a ``KeyboardInterrupt`` by default, the shape of a worker kill).  The
+  serving layer's kill-and-resume tests arm it to murder a worker
+  mid-job and assert the recovered job resumes from its checkpoint with
+  bit-identical detections.
 
 None of this is reachable from production paths: the only way to run a
 chaotic engine is to pass one of these factories explicitly.
@@ -30,7 +35,8 @@ chaotic engine is to pass one of these factories explicitly.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional, Type
 
 from repro.concurrent.engine import ConcurrentFaultSimulator
 from repro.concurrent.options import SimOptions
@@ -285,6 +291,37 @@ def chaos_simulator_factory(kind: str, sabotage_engine: str = "csim-MV", **param
         return chaos_class(circuit, faults, options, tracer=tracer, **params)
 
     return factory
+
+
+@contextmanager
+def step_bomb(
+    simulator_class: type,
+    after_steps: int,
+    exception: Type[BaseException] = KeyboardInterrupt,
+) -> Iterator[dict]:
+    """Patch ``simulator_class.step`` to raise after *after_steps* calls.
+
+    Models a worker killed mid-job: the default ``KeyboardInterrupt`` is
+    what a SIGINT/SIGKILL-shaped death looks like from inside, so the
+    resilient runners convert it to ``CampaignInterrupted`` and the last
+    periodic checkpoint on disk remains the resume point.  Yields a
+    mutable counter dict (``{"calls": N}``) so tests can assert how far
+    the victim got; the patch is always removed on exit.
+    """
+    real_step = simulator_class.step
+    state = {"calls": 0}
+
+    def bombed_step(self, vector):
+        state["calls"] += 1
+        if state["calls"] > after_steps:
+            raise exception()
+        return real_step(self, vector)
+
+    simulator_class.step = bombed_step
+    try:
+        yield state
+    finally:
+        simulator_class.step = real_step
 
 
 def truncate_file(path: str, keep_bytes: int) -> None:

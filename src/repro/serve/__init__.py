@@ -1,0 +1,56 @@
+"""The fault-simulation service: queue, batcher, result cache, REST API.
+
+This package turns the one-shot engines into a long-running serving
+layer — the ROADMAP's "heavy traffic" direction — without touching their
+semantics: every result returned through the service is bit-identical to
+a direct CLI run of the same inputs.
+
+* :mod:`repro.serve.spec` — validated job specifications and resolution.
+* :mod:`repro.serve.store` — the persistent job store (atomic JSON records).
+* :mod:`repro.serve.queue` — bounded priority queue with 429 backpressure.
+* :mod:`repro.serve.batch` — request batching by (circuit, engine) key.
+* :mod:`repro.serve.cache` — content-addressed result cache (sha256 of
+  netlist + vectors + fault universe + options) and canonical result
+  serialization.
+* :mod:`repro.serve.service` — the service: workers, checkpointed
+  execution through the robust/parallel runners, kill-and-resume recovery.
+* :mod:`repro.serve.metrics` — queue/batch/cache/latency metrics.
+* :mod:`repro.serve.api` — the stdlib-only REST API (``repro serve``).
+
+Example (in-process, no HTTP)::
+
+    from repro.serve import FaultSimService, ServeConfig
+
+    service = FaultSimService(ServeConfig(state_dir="state"))
+    record, _ = service.submit({"circuit": "s27", "random_patterns": 64})
+    service.drain()
+    print(service.result_bytes(record.job_id))
+"""
+
+from repro.serve.api import ServeHTTPServer, make_server
+from repro.serve.batch import Batcher
+from repro.serve.cache import ResultCache, cache_key, serialize_result
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.service import FaultSimService, ServeConfig
+from repro.serve.spec import JobSpec, SpecError, SpecResolver
+from repro.serve.store import JobRecord, JobStore
+
+__all__ = [
+    "Batcher",
+    "FaultSimService",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "QueueFull",
+    "ResultCache",
+    "ServeConfig",
+    "ServeHTTPServer",
+    "ServiceMetrics",
+    "SpecError",
+    "SpecResolver",
+    "cache_key",
+    "make_server",
+    "serialize_result",
+]

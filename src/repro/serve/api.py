@@ -1,0 +1,191 @@
+"""The stdlib-only REST API in front of :class:`FaultSimService`.
+
+Endpoints (all JSON):
+
+========  ======================  =============================================
+method    path                    behaviour
+========  ======================  =============================================
+POST      ``/jobs``               submit a job spec; ``201`` created, ``200``
+                                  when an idempotency key matched, ``400`` bad
+                                  spec, ``429`` + ``Retry-After`` queue full
+GET       ``/jobs``               list job summaries
+GET       ``/jobs/<id>``          job status
+GET       ``/jobs/<id>/result``   canonical result document; ``409`` until the
+                                  job reaches ``done``
+POST      ``/jobs/<id>/cancel``   cancel a *queued* job; ``409`` otherwise
+GET       ``/healthz``            liveness + worker/queue gauges
+GET       ``/metrics``            :meth:`ServiceMetrics.snapshot` document
+========  ======================  =============================================
+
+The server is a :class:`http.server.ThreadingHTTPServer`, so requests are
+served while workers simulate; everything heavier than a dictionary lookup
+happens in the service layer.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.serve.queue import QueueFull
+from repro.serve.service import FaultSimService
+from repro.serve.spec import SpecError
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
+_RESULT_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/result$")
+_CANCEL_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/cancel$")
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """An HTTP server bound to one :class:`FaultSimService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: FaultSimService) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server: ServeHTTPServer
+
+    protocol_version = "HTTP/1.1"
+    #: Set True (e.g. by the CLI's --verbose) to log requests to stderr.
+    verbose = False
+
+    @property
+    def service(self) -> FaultSimService:
+        return self.server.service
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _send(
+        self,
+        status: int,
+        document: object,
+        raw: Optional[bytes] = None,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        body = raw if raw is not None else (json.dumps(document).encode() + b"\n")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, retry_after: Optional[int] = None) -> None:
+        self._send(status, {"error": message}, retry_after=retry_after)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise SpecError("request body must be a JSON object")
+        try:
+            return json.loads(self.rfile.read(length))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"bad JSON body: {exc}") from None
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(200, self.service.health())
+            return
+        if path == "/metrics":
+            self._send(200, self.service.metrics_snapshot())
+            return
+        if path == "/jobs":
+            self._send(
+                200,
+                {
+                    "jobs": [
+                        record.public_dict()
+                        for record in self.service.store.all_records()
+                    ]
+                },
+            )
+            return
+        match = _RESULT_PATH.match(path)
+        if match:
+            self._get_result(match.group(1))
+            return
+        match = _JOB_PATH.match(path)
+        if match:
+            record = self.service.status(match.group(1))
+            if record is None:
+                self._error(404, f"no job {match.group(1)!r}")
+            else:
+                self._send(200, record.public_dict())
+            return
+        self._error(404, f"no route {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0]
+        if path == "/jobs":
+            self._submit()
+            return
+        match = _CANCEL_PATH.match(path)
+        if match:
+            self._cancel(match.group(1))
+            return
+        self._error(404, f"no route {path!r}")
+
+    # -- handlers -------------------------------------------------------
+
+    def _submit(self) -> None:
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, dict):
+                raise SpecError("job payload must be a JSON object")
+            record, created = self.service.submit(payload)
+        except SpecError as exc:
+            self._error(400, str(exc))
+            return
+        except QueueFull as exc:
+            self._error(429, str(exc), retry_after=1)
+            return
+        self._send(201 if created else 200, record.public_dict())
+
+    def _get_result(self, job_id: str) -> None:
+        record = self.service.status(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        if record.state != "done":
+            self._error(
+                409, f"job {job_id!r} is {record.state}, not done", retry_after=1
+            )
+            return
+        blob = self.service.result_bytes(job_id)
+        if blob is None:  # done but blob missing would be a service bug
+            self._error(500, f"result for {job_id!r} is missing")
+            return
+        self._send(200, None, raw=blob)
+
+    def _cancel(self, job_id: str) -> None:
+        record = self.service.status(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        if self.service.cancel(job_id):
+            refreshed = self.service.status(job_id)
+            assert refreshed is not None
+            self._send(200, refreshed.public_dict())
+        else:
+            self._error(409, f"job {job_id!r} is {record.state}; cannot cancel")
+
+
+def make_server(
+    service: FaultSimService, host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
+    """A bound (not yet serving) HTTP server; ``port=0`` picks a free port."""
+    return ServeHTTPServer((host, port), service)

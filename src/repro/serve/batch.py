@@ -1,0 +1,59 @@
+"""Request batching: coalesce queue-mates onto one circuit instantiation.
+
+When a worker claims work it takes the head of the queue and then drains
+every *currently queued* job sharing the head's group key — the circuit
+source plus engine configuration (:meth:`repro.serve.spec.JobSpec.group_key`)
+— up to ``max_batch``.  The whole batch then executes against a single
+parsed, levelized circuit object, amortizing netlist parse, levelization
+and the per-circuit evaluation-LUT/macro setup that otherwise repeat per
+job; fully identical jobs inside a batch additionally collapse onto one
+simulation through the result cache.
+
+Batching never reorders across priorities at the batch head (the head is
+always the best queued job) and never waits for more work to arrive — a
+lone job runs immediately in a batch of one.  Disabling batching
+(``max_batch=1``) is the benchmark's ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.serve.queue import JobQueue
+from repro.serve.spec import JobSpec
+from repro.serve.store import JobRecord, JobStore
+
+
+class Batcher:
+    """Forms batches of queued jobs sharing a (circuit, engine) group key."""
+
+    def __init__(self, store: JobStore, max_batch: int = 8) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.store = store
+        self.max_batch = max_batch
+
+    def take(self, queue: JobQueue, head_id: str) -> List[JobRecord]:
+        """The batch led by *head_id*: the head plus matching queue-mates."""
+        head = self.store.get(head_id)
+        if head is None:  # record vanished; nothing to run
+            return []
+        batch = [head]
+        if self.max_batch == 1:
+            return batch
+        key = JobSpec.from_payload(head.spec).group_key()
+        wanted = frozenset(
+            record.job_id
+            for record in self.store.all_records()
+            if record.state == "queued"
+            and record.job_id != head_id
+            and JobSpec.from_payload(record.spec).group_key() == key
+        )
+        while len(batch) < self.max_batch:
+            mate_id = queue.pop_if(wanted)
+            if mate_id is None:
+                break
+            mate = self.store.get(mate_id)
+            if mate is not None:
+                batch.append(mate)
+        return batch

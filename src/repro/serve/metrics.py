@@ -1,0 +1,181 @@
+"""Service metrics: what ``/metrics`` reports.
+
+The vocabulary extends the :mod:`repro.obs` telemetry one level up: where
+a :class:`repro.obs.Telemetry` describes one run from inside (per-cycle
+series, per-gate churn), :class:`ServiceMetrics` describes the serving
+layer around many runs — queue depth, batch sizes, cache hit rate, and
+per-phase latency histograms (queue wait, setup, simulate, serialize).
+The engine-level work counters of every executed job are aggregated into
+one :class:`repro.result.WorkCounters` total, so the two layers reconcile:
+the service's ``counters`` are the sum of its jobs' telemetry totals.
+
+Everything is JSON-safe through :meth:`ServiceMetrics.snapshot`, the same
+contract :meth:`repro.obs.Telemetry.summary_dict` keeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import asdict
+from typing import Dict, List, Optional
+
+from repro.result import WorkCounters
+
+#: Geometric latency bucket upper bounds, in seconds.
+LATENCY_BUCKETS = tuple(
+    round(base * scale, 6)
+    for scale in (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+    for base in (1.0, 2.0, 5.0)
+) + (float("inf"),)
+
+#: The job phases the service times, in order.
+PHASES = ("queue_wait", "setup", "simulate", "serialize")
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with approximate percentiles."""
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(LATENCY_BUCKETS)
+        self.total = 0
+        self.sum_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(LATENCY_BUCKETS, seconds)] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+
+    def percentile(self, fraction: float) -> float:
+        """The upper bound of the bucket holding the p-th observation."""
+        if not self.total:
+            return 0.0
+        rank = max(1, int(fraction * self.total + 0.5))
+        seen = 0
+        for bound, count in zip(LATENCY_BUCKETS, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return LATENCY_BUCKETS[-1]
+
+    def snapshot(self) -> dict:
+        buckets = {
+            ("+inf" if bound == float("inf") else f"{bound:g}"): count
+            for bound, count in zip(LATENCY_BUCKETS, self.counts)
+            if count
+        }
+        return {
+            "count": self.total,
+            "sum_seconds": self.sum_seconds,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters and histograms for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.jobs_rejected = 0
+        self.jobs_simulated = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batch_size_counts: Dict[int, int] = {}
+        self.phase_latency: Dict[str, LatencyHistogram] = {
+            phase: LatencyHistogram() for phase in PHASES
+        }
+        self.counters = WorkCounters()
+
+    # -- recording ------------------------------------------------------
+
+    def submitted(self) -> None:
+        with self._lock:
+            self.jobs_submitted += 1
+
+    def rejected(self) -> None:
+        with self._lock:
+            self.jobs_rejected += 1
+
+    def cancelled(self) -> None:
+        with self._lock:
+            self.jobs_cancelled += 1
+
+    def cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def cache_miss(self) -> None:
+        with self._lock:
+            self.cache_misses += 1
+
+    def batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_size_counts[size] = self.batch_size_counts.get(size, 0) + 1
+
+    def completed(self, simulated: bool, counters: Optional[WorkCounters]) -> None:
+        with self._lock:
+            self.jobs_completed += 1
+            if simulated:
+                self.jobs_simulated += 1
+            if counters is not None:
+                self.counters.cycles += counters.cycles
+                self.counters.good_evaluations += counters.good_evaluations
+                self.counters.fault_evaluations += counters.fault_evaluations
+                self.counters.element_visits += counters.element_visits
+                self.counters.events += counters.events
+                self.counters.gates_scheduled += counters.gates_scheduled
+
+    def failed(self) -> None:
+        with self._lock:
+            self.jobs_failed += 1
+
+    def phase(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self.phase_latency[name].observe(seconds)
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self, queue_depth: int, queue_capacity: int) -> dict:
+        with self._lock:
+            lookups = self.cache_hits + self.cache_misses
+            sizes: List[int] = []
+            for size, count in self.batch_size_counts.items():
+                sizes.extend([size] * count)
+            return {
+                "jobs": {
+                    "submitted": self.jobs_submitted,
+                    "completed": self.jobs_completed,
+                    "simulated": self.jobs_simulated,
+                    "failed": self.jobs_failed,
+                    "cancelled": self.jobs_cancelled,
+                    "rejected": self.jobs_rejected,
+                },
+                "queue": {"depth": queue_depth, "capacity": queue_capacity},
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                },
+                "batch": {
+                    "count": self.batches,
+                    "mean_size": sum(sizes) / len(sizes) if sizes else 0.0,
+                    "max_size": max(sizes) if sizes else 0,
+                    "size_counts": {
+                        str(size): count
+                        for size, count in sorted(self.batch_size_counts.items())
+                    },
+                },
+                "latency": {
+                    phase: histogram.snapshot()
+                    for phase, histogram in self.phase_latency.items()
+                },
+                "counters": asdict(self.counters),
+            }

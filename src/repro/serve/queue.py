@@ -1,0 +1,105 @@
+"""The bounded, priority-ordered job queue with backpressure.
+
+A :class:`JobQueue` holds job ids only — the durable truth lives in the
+:class:`repro.serve.store.JobStore` — ordered by (priority descending,
+submission order ascending).  The queue is *bounded*: pushing past
+``capacity`` raises :class:`QueueFull`, which the API layer translates to
+HTTP 429, so a traffic burst sheds load at the front door instead of
+growing an unbounded backlog inside the service.
+
+Cancellation is lazy: :meth:`cancel` marks the id and :meth:`pop` discards
+marked entries, so cancel is O(1) and never reheapifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import List, Optional, Set, Tuple
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity; the submission was refused (HTTP 429)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(f"job queue is full ({capacity} jobs); retry later")
+        self.capacity = capacity
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of job ids."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: (-priority, sequence, job_id) min-heap.
+        self._heap: List[Tuple[int, int, str]] = []
+        self._cancelled: Set[str] = set()
+        self._sequence = 0
+
+    def push(self, job_id: str, priority: int = 0) -> None:
+        with self._lock:
+            if self._live_depth() >= self.capacity:
+                raise QueueFull(self.capacity)
+            self._sequence += 1
+            heapq.heappush(self._heap, (-priority, self._sequence, job_id))
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        """The highest-priority queued id, or ``None`` on timeout."""
+        with self._not_empty:
+            while True:
+                job_id = self._pop_live_locked()
+                if job_id is not None:
+                    return job_id
+                if not self._not_empty.wait(timeout=timeout):
+                    return self._pop_live_locked()
+
+    def pop_if(self, wanted: "frozenset[str]") -> Optional[str]:
+        """Pop the best queued id that is in *wanted*, without blocking.
+
+        The batcher uses this to drain queue-mates sharing a group key;
+        ids not in *wanted* keep their positions.
+        """
+        with self._lock:
+            candidates = [
+                entry
+                for entry in self._heap
+                if entry[2] in wanted and entry[2] not in self._cancelled
+            ]
+            if not candidates:
+                return None
+            best = min(candidates)
+            self._heap.remove(best)
+            heapq.heapify(self._heap)
+            return best[2]
+
+    def cancel(self, job_id: str) -> bool:
+        """Mark a queued id cancelled; False when it is not queued."""
+        with self._lock:
+            if any(
+                entry_id == job_id and entry_id not in self._cancelled
+                for _, _, entry_id in self._heap
+            ):
+                self._cancelled.add(job_id)
+                return True
+        return False
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._live_depth()
+
+    def _live_depth(self) -> int:
+        return sum(1 for _, _, job_id in self._heap if job_id not in self._cancelled)
+
+    def _pop_live_locked(self) -> Optional[str]:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._cancelled:
+                self._cancelled.discard(job_id)
+                continue
+            return job_id
+        return None

@@ -1,0 +1,404 @@
+"""The fault-simulation service: queue, batcher, cache, workers, recovery.
+
+:class:`FaultSimService` ties the serving subsystem together around the
+existing engines:
+
+* **Submit** (:meth:`FaultSimService.submit`) validates the spec, honours
+  idempotency keys, and short-circuits through the content-addressed
+  result cache — a duplicate of a finished job is marked ``done`` at
+  submit time without ever entering the queue.  A full queue raises
+  :class:`repro.serve.queue.QueueFull` (HTTP 429).
+* **Execute** — workers claim the queue head, coalesce queue-mates
+  sharing a (circuit, engine) group key into one batch
+  (:mod:`repro.serve.batch`), and run each job through the existing
+  runners: :func:`repro.robust.runner.run_checkpointed` for single-process
+  jobs (periodic durable checkpoints), :func:`repro.parallel.runner.run_parallel`
+  when the job asks for ``jobs > 1`` fault sharding.  Budgets
+  (:class:`repro.robust.budget.Budget`) compose from the job's
+  ``max_cycles`` and the service-wide wall-clock cap.
+* **Recover** (:meth:`FaultSimService.recover`) re-queues every job a
+  killed worker left ``running``; the next attempt resumes from the job's
+  checkpoint instead of recomputing, and the resumed result is
+  bit-identical to an uninterrupted run (the checkpoint layer's
+  contract).
+
+Results returned through the service are serialized canonically
+(:func:`repro.serve.cache.serialize_result`): the outcome — detections and
+their cycles — is exactly what a direct ``repro simulate`` run of the same
+inputs produces, whatever worker, batch or shard count served it.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.result import FaultSimResult, WorkCounters
+from repro.robust.budget import Budget
+from repro.robust.checkpoint import CheckpointError, read_checkpoint
+from repro.serve.batch import Batcher
+from repro.serve.cache import ResultCache, cache_key, serialize_result
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.spec import JobSpec, ResolvedJob, SpecError, SpecResolver
+from repro.serve.store import TERMINAL_STATES, JobRecord, JobStore
+
+__all__ = ["ServeConfig", "FaultSimService", "QueueFull", "SpecError"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one service instance."""
+
+    state_dir: str
+    queue_limit: int = 256
+    workers: int = 1
+    max_batch: int = 8
+    checkpoint_every: int = 16
+    #: Service-wide wall-clock cap per job (None = unlimited).  Results
+    #: truncated by this nondeterministic limit are never cached.
+    max_seconds_per_job: Optional[float] = None
+    cache_results: bool = True
+    resolver_capacity: int = 4
+
+
+class FaultSimService:
+    """One serving instance over a durable state directory."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.store = JobStore(config.state_dir)
+        self.queue = JobQueue(config.queue_limit)
+        self.cache = ResultCache(os.path.join(config.state_dir, "cache"))
+        self.checkpoints_dir = os.path.join(config.state_dir, "checkpoints")
+        os.makedirs(self.checkpoints_dir, exist_ok=True)
+        self.batcher = Batcher(self.store, config.max_batch)
+        self.resolver = SpecResolver(config.resolver_capacity)
+        self.metrics = ServiceMetrics()
+        self._workers: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, payload: dict) -> Tuple[JobRecord, bool]:
+        """Accept one job; returns ``(record, created)``.
+
+        ``created`` is False when an idempotency key matched an existing
+        job, which is returned unchanged.  Raises :class:`SpecError` for
+        malformed payloads and :class:`QueueFull` under backpressure.
+        """
+        spec = JobSpec.from_payload(payload)
+        if spec.idempotency_key is not None:
+            existing = self.store.by_idempotency_key(spec.idempotency_key)
+            if existing is not None:
+                return existing, False
+        record = JobRecord(
+            job_id=self.store.new_job_id(),
+            spec=spec.to_payload(),
+            priority=spec.priority,
+            idempotency_key=spec.idempotency_key,
+        )
+        if self.config.cache_results and self._serve_from_cache(record, spec):
+            self.metrics.submitted()
+            return record, True
+        # The record must be durable before its id is visible to workers;
+        # a refused submission is rolled back so backpressure leaves no trace.
+        self.store.save(record)
+        try:
+            self.queue.push(record.job_id, record.priority)
+        except QueueFull:
+            self.store.delete(record.job_id)
+            self.metrics.rejected()
+            raise
+        self.metrics.submitted()
+        return record, True
+
+    def _serve_from_cache(self, record: JobRecord, spec: JobSpec) -> bool:
+        """Finish *record* from the cache at submit time when possible."""
+        started = time.perf_counter()
+        resolved = self.resolver.resolve(spec)
+        key = cache_key(spec, resolved.circuit, resolved.tests, resolved.faults)
+        record.cache_key = key
+        blob = self.cache.get(key)
+        self.metrics.phase("setup", time.perf_counter() - started)
+        if blob is None:
+            return False
+        self.store.write_result(record.job_id, blob)
+        record.state = "done"
+        record.cache_hit = True
+        record.finished_at = time.time()
+        record.summary = _summary_from_blob(blob, cached=True)
+        self.store.save(record)
+        self.metrics.cache_hit()
+        self.metrics.completed(simulated=False, counters=None)
+        return True
+
+    # -- queries --------------------------------------------------------
+
+    def status(self, job_id: str) -> Optional[JobRecord]:
+        return self.store.get(job_id)
+
+    def result_bytes(self, job_id: str) -> Optional[bytes]:
+        return self.store.read_result(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running or finished jobs are immutable."""
+        record = self.store.get(job_id)
+        if record is None or record.state != "queued":
+            return False
+        if not self.queue.cancel(job_id):
+            return False
+        record.state = "cancelled"
+        record.finished_at = time.time()
+        self.store.save(record)
+        self.metrics.cancelled()
+        return True
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot(self.queue.depth(), self.queue.capacity)
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "workers_alive": sum(1 for w in self._workers if w.is_alive()),
+            "workers_configured": self.config.workers,
+            "queue_depth": self.queue.depth(),
+            "queue_capacity": self.queue.capacity,
+            "jobs": self.store.counts(),
+        }
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> int:
+        """Re-queue every non-terminal job from a previous process.
+
+        Jobs found ``running`` belonged to a killed worker: they go back
+        to ``queued`` and their next attempt resumes from the per-job
+        checkpoint.  Returns the number of jobs re-queued.
+        """
+        requeued = 0
+        for record in self.store.all_records():
+            if record.state in TERMINAL_STATES:
+                continue
+            if record.state == "running":
+                record.state = "queued"
+                self.store.save(record)
+            try:
+                self.queue.push(record.job_id, record.priority)
+            except QueueFull:
+                break  # the rest stay durable; a later recover() retries
+            requeued += 1
+        return requeued
+
+    # -- execution ------------------------------------------------------
+
+    def process_once(self, timeout: Optional[float] = 0.0) -> int:
+        """Claim one batch and run it to completion; returns jobs finished."""
+        head_id = self.queue.pop(timeout=timeout)
+        if head_id is None:
+            return 0
+        batch = self.batcher.take(self.queue, head_id)
+        if not batch:
+            return 0
+        self.metrics.batch(len(batch))
+        # One shared circuit instantiation for the whole batch: the head's
+        # parse/levelize warms the resolver entry every batch-mate reuses.
+        self.resolver.circuit_for(JobSpec.from_payload(batch[0].spec))
+        for record in batch:
+            self._execute_job(record, batch_size=len(batch))
+        return len(batch)
+
+    def drain(self) -> int:
+        """Process queued work in the calling thread until the queue is empty."""
+        done = 0
+        while True:
+            processed = self.process_once(timeout=0.0)
+            if processed == 0:
+                return done
+            done += processed
+
+    def start(self) -> None:
+        """Launch the background worker pool."""
+        self._stop.clear()
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+        self._workers = [w for w in self._workers if w.is_alive()]
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.process_once(timeout=0.2)
+            except Exception:  # job-level failures are already recorded
+                continue
+
+    # -- the per-job execution path ------------------------------------
+
+    def _checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.checkpoints_dir, f"{job_id}.ckpt")
+
+    def _execute_job(self, record: JobRecord, batch_size: int) -> None:
+        """Run one claimed job to a terminal state.
+
+        Worker death (``KeyboardInterrupt``/``CampaignInterrupted``, i.e.
+        anything that is not a plain ``Exception``) propagates and leaves
+        the record ``running`` with its checkpoint on disk — exactly the
+        state :meth:`recover` turns into a resumed attempt.  Ordinary
+        failures mark the job ``failed`` with the error message.
+        """
+        spec = JobSpec.from_payload(record.spec)
+        record.state = "running"
+        record.started_at = time.time()
+        record.attempts += 1
+        record.batch_size = batch_size
+        self.store.save(record)
+        self.metrics.phase("queue_wait", record.started_at - record.created_at)
+        try:
+            started = time.perf_counter()
+            resolved = self.resolver.resolve(spec)
+            key = cache_key(spec, resolved.circuit, resolved.tests, resolved.faults)
+            record.cache_key = key
+            self.metrics.phase("setup", time.perf_counter() - started)
+
+            if self.config.cache_results:
+                blob = self.cache.get(key)
+                if blob is not None:  # in-flight duplicate finished first
+                    self.store.write_result(record.job_id, blob)
+                    self._finish(record, blob, cache_hit=True, counters=None)
+                    return
+                self.metrics.cache_miss()
+
+            simulate_started = time.perf_counter()
+            result = self._simulate(record, spec, resolved)
+            self.metrics.phase("simulate", time.perf_counter() - simulate_started)
+
+            serialize_started = time.perf_counter()
+            blob = serialize_result(result, resolved.circuit)
+            self.store.write_result(record.job_id, blob)
+            if self.config.cache_results and not result.truncated:
+                self.cache.put(key, blob)
+            self.metrics.phase(
+                "serialize", time.perf_counter() - serialize_started
+            )
+            record.summary = result.summary()
+            self._finish(record, blob, cache_hit=False, counters=result.counters)
+            self._cleanup_checkpoints(record.job_id)
+        except Exception as exc:
+            record.state = "failed"
+            record.error = f"{type(exc).__name__}: {exc}"
+            record.finished_at = time.time()
+            self.store.save(record)
+            self.metrics.failed()
+
+    def _finish(
+        self,
+        record: JobRecord,
+        blob: bytes,
+        cache_hit: bool,
+        counters: Optional[WorkCounters],
+    ) -> None:
+        record.state = "done"
+        record.cache_hit = cache_hit
+        record.finished_at = time.time()
+        if cache_hit:
+            record.summary = _summary_from_blob(blob, cached=True)
+            self.metrics.cache_hit()
+        self.store.save(record)
+        self.metrics.completed(simulated=not cache_hit, counters=counters)
+
+    def _simulate(
+        self, record: JobRecord, spec: JobSpec, resolved: ResolvedJob
+    ) -> FaultSimResult:
+        budget = None
+        if spec.max_cycles is not None or self.config.max_seconds_per_job is not None:
+            budget = Budget(
+                max_wall_seconds=self.config.max_seconds_per_job,
+                max_cycles=spec.max_cycles,
+            )
+        if spec.engine == "serial" and not spec.transition:
+            # The serial oracle has no snapshot support: no checkpoints.
+            from repro.harness.runner import run_stuck_at
+
+            return run_stuck_at(
+                resolved.circuit,
+                resolved.tests,
+                "serial",
+                faults=resolved.faults,
+                budget=budget,
+            )
+        checkpoint_path = self._checkpoint_path(record.job_id)
+        resume = record.attempts > 1 and self._note_resume(record, checkpoint_path)
+        if spec.jobs > 1:
+            from repro.parallel.runner import run_parallel
+
+            return run_parallel(
+                resolved.circuit,
+                resolved.tests,
+                spec.engine,
+                transition=spec.transition,
+                faults=resolved.faults,
+                jobs=spec.jobs,
+                shard_strategy=spec.shard_strategy,
+                budget=budget,
+                checkpoint_path=checkpoint_path,
+                resume=record.attempts > 1,
+                checkpoint_every=self.config.checkpoint_every,
+            )
+        from repro.robust.runner import run_checkpointed
+
+        return run_checkpointed(
+            resolved.circuit,
+            resolved.tests,
+            spec.engine,
+            transition=spec.transition,
+            faults=resolved.faults,
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            checkpoint_every=self.config.checkpoint_every,
+        )
+
+    def _note_resume(self, record: JobRecord, checkpoint_path: str) -> bool:
+        """Whether a retry can resume, recording the resume cycle."""
+        if not os.path.exists(checkpoint_path):
+            return False
+        try:
+            saved = read_checkpoint(checkpoint_path)
+        except CheckpointError:
+            os.unlink(checkpoint_path)  # torn checkpoint: start over
+            return False
+        cycle = saved.payload.get("cycle", 0)
+        record.resumed_from_cycle = int(cycle)
+        return True
+
+    def _cleanup_checkpoints(self, job_id: str) -> None:
+        base = self._checkpoint_path(job_id)
+        for path in [base] + glob.glob(f"{base}.shard*"):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def _summary_from_blob(blob: bytes, cached: bool) -> str:
+    document = json.loads(blob)
+    text = (
+        f"{document['engine']}: {document['num_detected']}/{document['num_faults']} "
+        f"faults ({100.0 * document['coverage']:.2f}%) in "
+        f"{document['num_vectors']} vectors"
+    )
+    return f"{text} [cache hit]" if cached else text

@@ -1,0 +1,282 @@
+"""Job specifications: the validated description of one simulation request.
+
+A :class:`JobSpec` is the canonical form of what a client submits — a
+circuit (named benchmark or inline ``.bench`` text), a test sequence
+(explicit vectors or a deterministic random spec), an engine configuration
+and scheduling hints (priority, idempotency key).  Validation happens at
+submit time so malformed requests are rejected with a
+:class:`SpecError` (HTTP 400) instead of failing later inside a worker.
+
+:class:`SpecResolver` materializes specs into the objects the engines
+consume.  Circuit loads are memoized in a small LRU keyed by the circuit
+*source* (inline text, or name + scale), which is what the batcher
+amortizes: jobs sharing a source resolve against one parsed, levelized
+circuit object, so the per-circuit evaluation-LUT and macro caches inside
+the engines stay warm across the whole batch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from repro.circuit.library import load as load_circuit
+from repro.circuit.netlist import Circuit, NetlistError
+from repro.circuit.bench import parse_bench
+from repro.faults.model import Fault
+from repro.faults.transition import all_transition_faults
+from repro.faults.universe import stuck_at_universe
+from repro.harness.runner import ENGINE_NAMES
+from repro.parallel.sharding import STRATEGIES
+from repro.patterns.random_gen import random_sequence
+from repro.patterns.vectors import TestSequence, parse_vectors
+
+
+class SpecError(ValueError):
+    """A malformed or inconsistent job specification (HTTP 400)."""
+
+
+def _opt_str(payload: Mapping[str, object], key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise SpecError(f"{key!r} must be a string")
+    return value
+
+
+def _opt_int(payload: Mapping[str, object], key: str, default: int = 0) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{key!r} must be an integer")
+    return value
+
+
+def _opt_bool(payload: Mapping[str, object], key: str) -> bool:
+    value = payload.get(key, False)
+    if not isinstance(value, bool):
+        raise SpecError(f"{key!r} must be a boolean")
+    return value
+
+
+def _opt_float(payload: Mapping[str, object], key: str, default: float) -> float:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{key!r} must be a number")
+    return float(value)
+
+
+_KNOWN_KEYS = frozenset(
+    {
+        "circuit",
+        "scale",
+        "netlist",
+        "vectors",
+        "random_patterns",
+        "seed",
+        "engine",
+        "transition",
+        "prune_untestable",
+        "max_cycles",
+        "jobs",
+        "shard_strategy",
+        "priority",
+        "idempotency_key",
+    }
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated simulation request.
+
+    Exactly one of ``circuit``/``netlist`` names the design; ``vectors``
+    (text, one ``0/1/X`` vector per line) and the ``random_patterns`` +
+    ``seed`` pair are likewise exclusive, with the random spec as the
+    default.  ``jobs``/``shard_strategy`` shard the fault universe through
+    the parallel runner but never change the outcome, so they are *not*
+    part of the result-cache identity (see :mod:`repro.serve.cache`).
+    """
+
+    circuit: Optional[str] = None
+    scale: float = 1.0
+    netlist: Optional[str] = None
+    vectors: Optional[str] = None
+    random_patterns: int = 64
+    seed: int = 1992
+    engine: str = "csim-MV"
+    transition: bool = False
+    prune_untestable: bool = False
+    max_cycles: Optional[int] = None
+    jobs: int = 1
+    shard_strategy: str = "round-robin"
+    priority: int = 0
+    idempotency_key: Optional[str] = None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "JobSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError("job payload must be a JSON object")
+        unknown = sorted(set(payload) - _KNOWN_KEYS)
+        if unknown:
+            raise SpecError(f"unknown job fields: {', '.join(unknown)}")
+        circuit = _opt_str(payload, "circuit")
+        netlist = _opt_str(payload, "netlist")
+        if (circuit is None) == (netlist is None):
+            raise SpecError("exactly one of 'circuit' or 'netlist' is required")
+        vectors = _opt_str(payload, "vectors")
+        if vectors is not None and "random_patterns" in payload:
+            raise SpecError("'vectors' and 'random_patterns' are mutually exclusive")
+        engine = _opt_str(payload, "engine") or "csim-MV"
+        if engine not in ENGINE_NAMES:
+            raise SpecError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
+        strategy = _opt_str(payload, "shard_strategy") or "round-robin"
+        if strategy not in STRATEGIES:
+            raise SpecError(
+                f"unknown shard strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        jobs = _opt_int(payload, "jobs", 1)
+        if jobs < 1:
+            raise SpecError("'jobs' must be >= 1")
+        random_patterns = _opt_int(payload, "random_patterns", 64)
+        if random_patterns < 1:
+            raise SpecError("'random_patterns' must be >= 1")
+        max_cycles: Optional[int] = None
+        if payload.get("max_cycles") is not None:
+            max_cycles = _opt_int(payload, "max_cycles")
+            if max_cycles < 1:
+                raise SpecError("'max_cycles' must be >= 1")
+        return cls(
+            circuit=circuit,
+            scale=_opt_float(payload, "scale", 1.0),
+            netlist=netlist,
+            vectors=vectors,
+            random_patterns=random_patterns,
+            seed=_opt_int(payload, "seed", 1992),
+            engine=engine,
+            transition=_opt_bool(payload, "transition"),
+            prune_untestable=_opt_bool(payload, "prune_untestable"),
+            max_cycles=max_cycles,
+            jobs=jobs,
+            shard_strategy=strategy,
+            priority=_opt_int(payload, "priority", 0),
+            idempotency_key=_opt_str(payload, "idempotency_key"),
+        )
+
+    def to_payload(self) -> dict:
+        """The normalized JSON form stored in the job record."""
+        payload: dict = {
+            "scale": self.scale,
+            "engine": self.engine,
+            "transition": self.transition,
+            "prune_untestable": self.prune_untestable,
+            "jobs": self.jobs,
+            "shard_strategy": self.shard_strategy,
+            "priority": self.priority,
+        }
+        if self.circuit is not None:
+            payload["circuit"] = self.circuit
+        if self.netlist is not None:
+            payload["netlist"] = self.netlist
+        if self.vectors is not None:
+            payload["vectors"] = self.vectors
+        else:
+            payload["random_patterns"] = self.random_patterns
+            payload["seed"] = self.seed
+        if self.max_cycles is not None:
+            payload["max_cycles"] = self.max_cycles
+        if self.idempotency_key is not None:
+            payload["idempotency_key"] = self.idempotency_key
+        return payload
+
+    def circuit_source(self) -> Tuple[object, ...]:
+        """Hashable identity of the circuit source (the batcher's key base)."""
+        if self.netlist is not None:
+            return ("inline", self.netlist)
+        return ("named", self.circuit, self.scale)
+
+    def group_key(self) -> Tuple[object, ...]:
+        """Jobs sharing this key are batched onto one circuit instantiation.
+
+        The key is the circuit source plus the engine configuration —
+        everything that determines the parse/levelize/LUT setup a batch
+        amortizes — and deliberately not the vectors or fault universe,
+        which vary freely within a batch.
+        """
+        return self.circuit_source() + (self.engine, self.transition)
+
+    def engine_label(self) -> str:
+        """The engine name a direct CLI run would report for this spec."""
+        return "csim-TV" if self.transition else self.engine
+
+
+@dataclass
+class ResolvedJob:
+    """A spec materialized into engine-ready objects."""
+
+    spec: JobSpec
+    circuit: Circuit
+    tests: TestSequence
+    faults: List[Fault] = field(default_factory=list)
+
+
+class SpecResolver:
+    """Materializes specs, memoizing circuit loads in a bounded LRU.
+
+    ``capacity`` bounds how many distinct circuit sources stay resident;
+    an interleaved multi-circuit workload with a small capacity thrashes
+    the cache, which is exactly what request batching exists to prevent.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("resolver capacity must be >= 1")
+        self.capacity = capacity
+        self._circuits: "OrderedDict[Tuple[object, ...], Circuit]" = OrderedDict()
+        self.loads = 0
+
+    def circuit_for(self, spec: JobSpec) -> Circuit:
+        key = spec.circuit_source()
+        cached = self._circuits.get(key)
+        if cached is not None:
+            self._circuits.move_to_end(key)
+            return cached
+        self.loads += 1
+        if spec.netlist is not None:
+            try:
+                circuit = parse_bench(spec.netlist, name="inline")
+            except NetlistError as exc:
+                raise SpecError(f"bad inline netlist: {exc}") from None
+        else:
+            assert spec.circuit is not None
+            try:
+                circuit = load_circuit(spec.circuit, scale=spec.scale)
+            except (NetlistError, FileNotFoundError, ValueError) as exc:
+                raise SpecError(str(exc)) from None
+        self._circuits[key] = circuit
+        while len(self._circuits) > self.capacity:
+            self._circuits.popitem(last=False)
+        return circuit
+
+    def resolve(self, spec: JobSpec) -> ResolvedJob:
+        circuit = self.circuit_for(spec)
+        if spec.vectors is not None:
+            try:
+                tests = parse_vectors(spec.vectors, circuit)
+            except ValueError as exc:
+                raise SpecError(f"bad vectors: {exc}") from None
+            if len(tests) == 0:
+                raise SpecError("'vectors' contains no vectors")
+        else:
+            tests = random_sequence(circuit, spec.random_patterns, seed=spec.seed)
+        universe: List[Fault] = list(
+            all_transition_faults(circuit)
+            if spec.transition
+            else stuck_at_universe(circuit)
+        )
+        if spec.prune_untestable:
+            from repro.analyze import prune_untestable
+
+            universe = list(prune_untestable(circuit, universe).kept)
+        return ResolvedJob(spec=spec, circuit=circuit, tests=tests, faults=universe)

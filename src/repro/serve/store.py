@@ -1,0 +1,195 @@
+"""The persistent job store: one atomically written JSON file per job.
+
+A :class:`JobRecord` is the durable state machine of one submission
+(``queued -> running -> done | failed``, with ``cancelled`` reachable from
+``queued``).  Every transition is flushed to
+``<state_dir>/jobs/<job_id>.json`` via the same temp-file + ``os.replace``
+pattern the checkpoint layer uses, so a killed service process leaves
+every record either in its previous state or its next one — never torn.
+Result payloads are *not* stored inline: a record carries its
+``cache_key`` and the result bytes live in per-job files under
+``<state_dir>/results/`` (and in the content-addressed cache), keeping
+records small enough to rewrite on every transition.
+
+On restart, :meth:`JobStore.load_all` rebuilds the in-memory index;
+records found ``running`` belonged to a killed worker and are the ones
+:meth:`repro.serve.service.FaultSimService.recover` re-queues for a
+checkpoint resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+#: The legal job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class JobRecord:
+    """The durable state of one submitted job."""
+
+    job_id: str
+    spec: dict
+    state: str = "queued"
+    priority: int = 0
+    idempotency_key: Optional[str] = None
+    cache_key: Optional[str] = None
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Execution attempts so far; > 1 means the job was recovered at least
+    #: once after a worker death.
+    attempts: int = 0
+    #: True when the result came from the cache without simulating.
+    cache_hit: bool = False
+    #: Size of the batch this job executed in (0 until it runs).
+    batch_size: int = 0
+    #: Cycle the last attempt resumed from (0 for a fresh start).
+    resumed_from_cycle: int = 0
+    error: Optional[str] = None
+    #: Human-readable one-liner of the finished result.
+    summary: Optional[str] = None
+
+    def public_dict(self) -> dict:
+        """The JSON shape the API returns for status queries."""
+        return asdict(self)
+
+
+class JobStore:
+    """Thread-safe persistent registry of every job the service has seen."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.jobs_dir = os.path.join(directory, "jobs")
+        self.results_dir = os.path.join(directory, "results")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.results_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._records: Dict[str, JobRecord] = {}
+        self._sequence = 0
+        self.load_all()
+
+    # -- persistence ----------------------------------------------------
+
+    def _record_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.results_dir, f"{job_id}.json")
+
+    def load_all(self) -> None:
+        """(Re)build the index from disk; called once at construction."""
+        with self._lock:
+            self._records.clear()
+            for name in sorted(os.listdir(self.jobs_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(self.jobs_dir, name)
+                try:
+                    with open(path) as handle:
+                        record = JobRecord(**json.load(handle))
+                except (OSError, TypeError, ValueError):
+                    continue  # torn or foreign file; never happens for our writes
+                self._records[record.job_id] = record
+                sequence = _sequence_of(record.job_id)
+                if sequence is not None and sequence > self._sequence:
+                    self._sequence = sequence
+
+    def save(self, record: JobRecord) -> None:
+        """Atomically flush *record* and update the index."""
+        blob = json.dumps(asdict(record), sort_keys=True).encode()
+        fd, tmp_path = tempfile.mkstemp(dir=self.jobs_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self._record_path(record.job_id))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._records[record.job_id] = record
+
+    # -- queries --------------------------------------------------------
+
+    def new_job_id(self) -> str:
+        with self._lock:
+            self._sequence += 1
+            return f"job-{self._sequence:06d}"
+
+    def delete(self, job_id: str) -> None:
+        """Remove a record (submit rollback after a refused enqueue)."""
+        with self._lock:
+            self._records.pop(job_id, None)
+        try:
+            os.unlink(self._record_path(job_id))
+        except OSError:
+            pass
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def all_records(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.job_id)
+
+    def by_idempotency_key(self, key: str) -> Optional[JobRecord]:
+        with self._lock:
+            for record in self._records.values():
+                if record.idempotency_key == key:
+                    return record
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        """state -> number of jobs currently in it."""
+        totals = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for record in self._records.values():
+                totals[record.state] = totals.get(record.state, 0) + 1
+        return totals
+
+    # -- result blobs ---------------------------------------------------
+
+    def write_result(self, job_id: str, blob: bytes) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=self.results_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.result_path(job_id))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def read_result(self, job_id: str) -> Optional[bytes]:
+        try:
+            with open(self.result_path(job_id), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+
+def _sequence_of(job_id: str) -> Optional[int]:
+    prefix, _, tail = job_id.partition("-")
+    if prefix == "job" and tail.isdigit():
+        return int(tail)
+    return None

@@ -52,9 +52,9 @@ class TestSimulate:
         assert main(["simulate", "s27", "--tests", str(vectors)]) == 0
         assert "3 vectors" in capsys.readouterr().out
 
-    def test_bad_engine_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["simulate", "s27", "--engine", "bogus"])
+    def test_bad_engine_rejected(self, capsys):
+        assert main(["simulate", "s27", "--engine", "bogus"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
 
 
 class TestTransition:
@@ -103,9 +103,9 @@ class TestLint:
         assert main(["lint", "s99999"]) == 2
         assert capsys.readouterr().err.startswith("error:")
 
-    def test_bad_flag_usage_exits_nonzero(self):
-        with pytest.raises(SystemExit):
-            main(["lint", "s27", "--fail-on", "catastrophe"])
+    def test_bad_flag_usage_exits_nonzero(self, capsys):
+        assert main(["lint", "s27", "--fail-on", "catastrophe"]) == 2
+        capsys.readouterr()
 
     def test_json_format(self, capsys):
         import json
@@ -187,9 +187,29 @@ class TestGenerateTests:
 
 
 class TestParser:
-    def test_missing_command_exits(self):
-        with pytest.raises(SystemExit):
-            main([])
+    """Parse-time failures return 2 with usage — never a traceback."""
+
+    def test_missing_command_exits_2_with_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unknown_subcommand_exits_2_with_usage(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_version_prints_and_exits_0(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_serve_help_smoke(self, capsys):
+        assert main(["serve", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--queue-limit" in out
+        assert "--workers" in out
 
     def test_unknown_circuit_exits_2(self, capsys):
         assert main(["stats", "s99999"]) == 2

@@ -1,0 +1,132 @@
+"""Kill-and-resume chaos for the serving layer.
+
+A worker dying mid-job (modelled by :func:`repro.robust.chaos.step_bomb`,
+which makes the engine's ``step`` raise ``KeyboardInterrupt`` after N
+cycles) must leave the job ``running`` with its periodic checkpoint on
+disk.  After :meth:`FaultSimService.recover` the retry resumes from that
+checkpoint — not from cycle zero — and the final result is bit-identical
+to a run that was never interrupted.
+"""
+
+import pytest
+
+from repro.circuit.library import load
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.harness.runner import run_stuck_at
+from repro.patterns.random_gen import random_sequence
+from repro.robust.chaos import step_bomb
+from repro.serve import FaultSimService, ServeConfig, serialize_result
+
+JOB = {"circuit": "s27", "random_patterns": 40, "seed": 5}
+
+
+def make_service(tmp_path, name="state", **overrides):
+    overrides.setdefault("workers", 0)
+    overrides.setdefault("checkpoint_every", 4)
+    return FaultSimService(ServeConfig(state_dir=str(tmp_path / name), **overrides))
+
+
+def test_killed_worker_leaves_job_running_with_checkpoint(tmp_path):
+    service = make_service(tmp_path)
+    record, _ = service.submit(dict(JOB))
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10) as counter:
+        with pytest.raises(KeyboardInterrupt):
+            service.process_once()
+    assert counter["calls"] == 11
+    victim = service.status(record.job_id)
+    assert victim.state == "running"  # recover() turns this into a retry
+    assert service.store.read_result(record.job_id) is None
+    import os
+
+    assert os.path.exists(service._checkpoint_path(record.job_id))
+
+
+def test_recovered_job_resumes_and_matches_uninterrupted_run(tmp_path):
+    service = make_service(tmp_path)
+    record, _ = service.submit(dict(JOB))
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10):
+        with pytest.raises(KeyboardInterrupt):
+            service.process_once()
+
+    # The service restarts (same state dir), finds the orphan, re-queues it.
+    reborn = make_service(tmp_path)
+    assert reborn.recover() == 1
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10_000) as counter:
+        assert reborn.drain() == 1
+    finished = reborn.status(record.job_id)
+    assert finished.state == "done", finished.error
+    assert finished.attempts == 2
+    # checkpoint_every=4 and death after 10 cycles → resume from cycle 8.
+    assert finished.resumed_from_cycle == 8
+    # The retry simulated only the remaining cycles, not all 40.
+    assert counter["calls"] == 40 - 8
+
+    circuit = load("s27")
+    direct = run_stuck_at(circuit, random_sequence(circuit, 40, seed=5), "csim-MV")
+    assert reborn.result_bytes(record.job_id) == serialize_result(direct, circuit)
+
+
+def test_resumed_result_is_cached_and_serves_duplicates(tmp_path):
+    service = make_service(tmp_path)
+    record, _ = service.submit(dict(JOB))
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10):
+        with pytest.raises(KeyboardInterrupt):
+            service.process_once()
+    reborn = make_service(tmp_path)
+    reborn.recover()
+    reborn.drain()
+    duplicate, _ = reborn.submit(dict(JOB))
+    assert duplicate.cache_hit
+    assert reborn.result_bytes(duplicate.job_id) == reborn.result_bytes(record.job_id)
+
+
+def test_same_process_recover_after_kill(tmp_path):
+    """recover() works without a restart: the same instance re-queues."""
+    service = make_service(tmp_path)
+    record, _ = service.submit(dict(JOB))
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10):
+        with pytest.raises(KeyboardInterrupt):
+            service.process_once()
+    assert service.recover() == 1
+    assert service.drain() == 1
+    finished = service.status(record.job_id)
+    assert finished.state == "done"
+    assert finished.resumed_from_cycle == 8
+
+
+def test_torn_checkpoint_restarts_from_scratch(tmp_path):
+    """A checkpoint corrupted by the crash is discarded, not trusted."""
+    from repro.robust.chaos import truncate_file
+
+    service = make_service(tmp_path)
+    record, _ = service.submit(dict(JOB))
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10):
+        with pytest.raises(KeyboardInterrupt):
+            service.process_once()
+    truncate_file(service._checkpoint_path(record.job_id), 20)
+    reborn = make_service(tmp_path)
+    reborn.recover()
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10_000) as counter:
+        assert reborn.drain() == 1
+    finished = reborn.status(record.job_id)
+    assert finished.state == "done"
+    assert finished.resumed_from_cycle == 0  # nothing to resume from
+    assert counter["calls"] == 40  # full recompute
+
+    circuit = load("s27")
+    direct = run_stuck_at(circuit, random_sequence(circuit, 40, seed=5), "csim-MV")
+    assert reborn.result_bytes(record.job_id) == serialize_result(direct, circuit)
+
+
+def test_plain_exception_marks_job_failed_not_running(tmp_path):
+    """Ordinary failures are terminal; only worker death leaves 'running'."""
+    service = make_service(tmp_path)
+    record, _ = service.submit(dict(JOB))
+    with step_bomb(ConcurrentFaultSimulator, after_steps=10, exception=ValueError):
+        assert service.process_once() == 1  # handled, not propagated
+    failed = service.status(record.job_id)
+    assert failed.state == "failed"
+    assert "ValueError" in failed.error
+    assert service.metrics_snapshot()["jobs"]["failed"] == 1
+    # A failed job is terminal: recover() does not retry it.
+    assert service.recover() == 0
