@@ -24,13 +24,14 @@ numbers are the point; ``cpu_count`` is recorded alongside).
 from __future__ import annotations
 
 import argparse
-import json
 import multiprocessing
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import benchlib
 
 from repro.harness.runner import run_stuck_at, workload_circuit, workload_tests
 from repro.parallel import run_parallel
@@ -117,20 +118,26 @@ def main(argv=None) -> int:
             f"work-overhead={overhead:.2f}x"
         )
 
-    report = {
-        "benchmark": "parallel_scaling",
-        "circuit": circuit_name,
-        "scale": scale,
-        "patterns": patterns,
-        "strategy": args.shard_strategy,
-        "cpu_count": multiprocessing.cpu_count(),
-        "coverage_pct": round(100.0 * base_result.coverage, 2),
-        "results": rows,
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out} (cpu_count={report['cpu_count']})")
+    path = benchlib.write_bench_json(
+        "parallel_scaling",
+        config={
+            "circuit": circuit_name,
+            "scale": scale,
+            "patterns": patterns,
+            "strategy": args.shard_strategy,
+            "cpu_count": multiprocessing.cpu_count(),
+        },
+        samples=[
+            {"label": f"jobs={row['jobs']}", "seconds": row["wall_seconds"]}
+            for row in rows
+        ],
+        detail={
+            "coverage_pct": round(100.0 * base_result.coverage, 2),
+            "results": rows,
+        },
+        out=args.out,
+    )
+    print(f"wrote {path} (cpu_count={multiprocessing.cpu_count()})")
     return 0
 
 

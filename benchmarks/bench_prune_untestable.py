@@ -26,12 +26,13 @@ not here.  Timing numbers are best-of-``--repeats`` wall seconds.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import benchlib
 
 from repro.analyze import prune_untestable
 from repro.circuit.netlist import CircuitBuilder
@@ -164,17 +165,18 @@ def main(argv=None) -> int:
             f"sanitizer-overhead={row['sanitizer_overhead']:.2f}x"
         )
 
-    report = {
-        "benchmark": "prune_untestable",
-        "scale": scale,
-        "patterns": patterns,
-        "engine": "csim-MV",
-        "results": rows,
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    path = benchlib.write_bench_json(
+        "prune_untestable",
+        config={"scale": scale, "patterns": patterns, "engine": "csim-MV"},
+        samples=[
+            {"label": f"{row['circuit']}:{kind}", "seconds": row[f"{kind}_wall_seconds"]}
+            for row in rows
+            for kind in ("full", "pruned", "sanitized")
+        ],
+        detail={"results": rows},
+        out=args.out,
+    )
+    print(f"wrote {path}")
     return 0
 
 

@@ -32,7 +32,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import shutil
 import sys
@@ -40,6 +39,8 @@ import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import benchlib
 
 from repro.serve import FaultSimService, ServeConfig
 
@@ -174,18 +175,25 @@ def main(argv=None) -> int:
     finally:
         shutil.rmtree(state_root, ignore_errors=True)
 
-    report = {
-        "benchmark": "serve_throughput",
-        "jobs": len(payloads),
-        "distinct_specs": distinct,
-        "copies": args.copies,
-        "patterns": patterns,
-        "results": rows,
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    path = benchlib.write_bench_json(
+        "serve_throughput",
+        config={
+            "jobs": len(payloads),
+            "distinct_specs": distinct,
+            "copies": args.copies,
+            "patterns": patterns,
+        },
+        samples=[
+            {
+                "label": f"workers={row['workers']} {row['config']}",
+                "seconds": row["wall_seconds"],
+            }
+            for row in rows
+        ],
+        detail={"results": rows},
+        out=args.out,
+    )
+    print(f"wrote {path}")
     return 0
 
 

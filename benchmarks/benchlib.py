@@ -1,0 +1,113 @@
+"""The common ``BENCH_<name>.json`` schema every benchmark writes.
+
+One schema for the whole suite — pytest-driven macro-benchmarks (via the
+``run_once`` helper in ``conftest.py``, which records every timed
+invocation here) and the standalone campaign scripts alike — so CI can
+collect ``BENCH_*.json`` artifacts and diff runs without per-benchmark
+parsing:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "name": "obs_overhead",
+      "config": {"scale": 0.25},
+      "samples": [{"label": "test_obs_overhead[off-s298]", "seconds": 0.41}],
+      "p50_seconds": 0.41,
+      "p95_seconds": 0.52,
+      "timestamp": "2026-08-08T12:00:00+00:00",
+      "detail": {}
+    }
+
+``samples`` is the ground truth (one entry per timed measurement);
+``p50_seconds``/``p95_seconds`` summarize it; ``detail`` carries whatever
+benchmark-specific payload (scaling curves, coverage tables) the old
+per-script formats reported.  Files land at the repository root as
+``BENCH_<name>.json`` unless an explicit path is given.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+#: Schema tag; bump on incompatible change.
+SCHEMA = "repro-bench/1"
+
+#: Where BENCH_*.json files land by default.
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Module-level sample registry for pytest-driven benchmarks:
+#: name -> list of {"label", "seconds"} samples, in execution order.
+_SAMPLES: Dict[str, List[dict]] = {}
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(round(fraction * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def record_sample(name: str, label: str, seconds: float, **extra: object) -> None:
+    """Append one timed measurement to benchmark *name*'s sample list."""
+    sample = {"label": label, "seconds": round(seconds, 6)}
+    sample.update(extra)
+    _SAMPLES.setdefault(name, []).append(sample)
+
+
+def recorded_names() -> List[str]:
+    """Benchmark names with at least one recorded sample."""
+    return sorted(_SAMPLES)
+
+
+def bench_report(
+    name: str,
+    config: Optional[dict] = None,
+    samples: Optional[List[dict]] = None,
+    detail: Optional[dict] = None,
+) -> dict:
+    """The common-schema report document for one benchmark."""
+    if samples is None:
+        samples = list(_SAMPLES.get(name, []))
+    seconds = [float(sample["seconds"]) for sample in samples]
+    return {
+        "schema": SCHEMA,
+        "name": name,
+        "config": dict(config or {}),
+        "samples": samples,
+        "p50_seconds": round(percentile(seconds, 0.50), 6),
+        "p95_seconds": round(percentile(seconds, 0.95), 6),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "detail": dict(detail or {}),
+    }
+
+
+def write_bench_json(
+    name: str,
+    config: Optional[dict] = None,
+    samples: Optional[List[dict]] = None,
+    detail: Optional[dict] = None,
+    out: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` (repo root unless *out*); returns the path."""
+    report = bench_report(name, config, samples, detail)
+    path = out or os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def timed(function, *args, **kwargs):
+    """``(seconds, result)`` of one *function* call."""
+    started = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - started, result

@@ -9,11 +9,20 @@ Every benchmark runs the engine once per round (``pedantic`` with a single
 iteration): fault simulation of a whole test set is a macro-benchmark, and
 the deterministic work counters — not sub-millisecond timing noise — carry
 the comparison.
+
+Every timed invocation is also recorded into the common BENCH schema
+(see ``benchlib``): at session end each ``bench_<name>.py`` module that
+ran writes repo-root ``BENCH_<name>.json`` with its samples and
+p50/p95 — the same shape the standalone campaign scripts produce.
 """
 
 import os
+import sys
+import time
 
 import pytest
+
+import benchlib
 
 #: Circuit scale for all benchmark workloads.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
@@ -24,11 +33,37 @@ TABLE4_SUBSET = ("s298", "s344", "s382")
 TABLE6_SUBSET = ("s298", "s344", "s382")
 
 
+def _bench_name_of_caller() -> str:
+    """The ``bench_<x>.py`` module name of ``run_once``'s caller, sans prefix."""
+    frame = sys._getframe(2)
+    stem = os.path.splitext(os.path.basename(frame.f_globals.get("__file__", "")))[0]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
 def run_once(benchmark, function, *args, **kwargs):
-    """Run a macro-benchmark: one warm-up-free invocation per round."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run a macro-benchmark: one warm-up-free invocation per round.
+
+    The wall time of the (single) round is recorded into the common
+    BENCH sample registry under the calling module's name.
+    """
+    name = _bench_name_of_caller()
+    started = time.perf_counter()
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    benchlib.record_sample(
+        name,
+        label=getattr(benchmark, "name", function.__name__),
+        seconds=time.perf_counter() - started,
+    )
+    return result
 
 
 @pytest.fixture
 def scale():
     return SCALE
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one common-schema BENCH json per benchmark module that ran."""
+    for name in benchlib.recorded_names():
+        path = benchlib.write_bench_json(name, config={"scale": SCALE})
+        print(f"\nwrote {path}")

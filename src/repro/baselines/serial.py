@@ -42,6 +42,7 @@ def simulate_serial(
     faults: Optional[Iterable[StuckAtFault]] = None,
     drop_detected: bool = True,
     budget=None,
+    tracer=None,
 ) -> FaultSimResult:
     """Simulate every fault serially; returns the standard result record.
 
@@ -50,32 +51,50 @@ def simulate_serial(
     budget is checked between faulty machines and the result is flagged
     truncated when the limit hits (remaining faults simply stay
     undetected in the partial result).
+
+    A ``tracer`` (:class:`repro.obs.Tracer`) mirrors the work counters
+    through the standard hooks — one ``cycle_start`` per good-machine
+    cycle, bulk ``good_evals``/``fault_evals`` per settled network — so a
+    recording tracer reconciles exactly with the reported counters, same
+    as every concurrent engine.
     """
     fault_list = sorted(faults) if faults is not None else stuck_at_universe(circuit)
     clock = budget.start() if budget else None
+    trace = tracer
     start = time.perf_counter()
     counters = WorkCounters()
+    if trace is not None:
+        trace.run_start("serial", circuit.name)
 
     good = LogicSimulator(circuit)
     good_outputs: List[Tuple[int, ...]] = []
-    for vector in vectors:
+    for cycle, vector in enumerate(vectors, start=1):
+        if trace is not None:
+            trace.cycle_start(cycle)
         good_outputs.append(good.step(vector))
         counters.good_evaluations += circuit.num_combinational
+        if trace is not None:
+            trace.good_evals(None, circuit.num_combinational)
+            trace.cycle_end(cycle)
     counters.cycles = len(good_outputs)
 
     detected: Dict[Fault, int] = {}
     potential: Dict[Fault, int] = {}
     truncation_reason = None
-    for fault in fault_list:
+    for fid, fault in enumerate(fault_list):
         if clock is not None:
             breach = clock.check(0, 0)  # wall clock is the only serial axis
             if breach is not None:
                 truncation_reason = breach.describe()
+                if trace is not None:
+                    trace.budget_breach(breach.kind, breach.limit, breach.actual)
                 break
         machine = LogicSimulator(circuit, fault)
         for cycle, vector in enumerate(vectors, start=1):
             outputs = machine.step(vector)
             counters.fault_evaluations += circuit.num_combinational
+            if trace is not None:
+                trace.fault_evals(None, circuit.num_combinational)
             good = good_outputs[cycle - 1]
             if (
                 fault not in potential
@@ -83,12 +102,18 @@ def simulate_serial(
                 and _potential_mismatch(good, outputs)
             ):
                 potential[fault] = cycle
+                if trace is not None:
+                    trace.detect(fid, cycle, potential=True)
             if _binary_mismatch(good, outputs):
                 detected[fault] = cycle
+                if trace is not None:
+                    trace.detect(fid, cycle)
                 if drop_detected:
+                    if trace is not None:
+                        trace.drop(fid, cycle)
                     break
 
-    return FaultSimResult(
+    result = FaultSimResult(
         engine="serial",
         circuit_name=circuit.name,
         num_faults=len(fault_list),
@@ -103,6 +128,10 @@ def simulate_serial(
         truncated=truncation_reason is not None,
         truncation_reason=truncation_reason,
     )
+    if trace is not None:
+        trace.run_end(result.wall_seconds)
+        result.telemetry = trace.telemetry()
+    return result
 
 
 class _SerialTransitionMachine:

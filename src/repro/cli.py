@@ -9,6 +9,7 @@ Commands
 ``generate-tests``  coverage-directed test generation
 ``tables``          regenerate the paper's evaluation tables
 ``serve``           run the fault-simulation service (REST API + workers)
+``inspect``         render a recorded trace directory (timeline, balance)
 
 ``lint`` exits 0 when the netlist is clean at the chosen severity, 1 when
 it has findings and 2 on usage or parse errors.  ``simulate``,
@@ -67,26 +68,74 @@ def _make_tracer(args):
 
     Per-gate event records are only collected when a trace file will
     actually receive them; ``--profile`` alone needs just the aggregates.
+    Parallel runs (``--jobs`` > 1) record inside every worker and merge —
+    the in-process tracer sees nothing there, but returning one still
+    signals the runner to arm worker-side telemetry.
     """
     if not (args.trace or args.profile):
         return None
     from repro.obs import RecordingTracer
 
-    return RecordingTracer(record_events=bool(args.trace))
+    return RecordingTracer(record_events=bool(args.trace) and args.jobs == 1)
+
+
+def _parallel_trace_dir(args) -> Optional[str]:
+    """Under ``--jobs`` > 1, ``--trace`` names a trace *directory*."""
+    if args.jobs > 1 and args.trace:
+        return args.trace
+    return None
+
+
+class _CliTrace:
+    """Root-span bookkeeping for a traced parallel CLI run.
+
+    The CLI is the trace's entry point, so it mints the
+    :class:`~repro.obs.TraceContext` whose root span id *is* the trace id
+    and emits the root span around the whole run; the campaign and shard
+    workers parent everything under it.
+    """
+
+    def __init__(self, trace_dir: Optional[str]) -> None:
+        self.trace_dir = trace_dir
+        self.ctx = None
+        self._writer = None
+        self._start = 0.0
+        if trace_dir is not None:
+            import time
+
+            from repro.obs import SpanWriter, TraceContext
+
+            self.ctx = TraceContext.new_trace()
+            self._writer = SpanWriter(trace_dir, label="cli")
+            self._start = time.time()
+
+    def finish(self, name: str, **attrs) -> None:
+        if self._writer is None:
+            return
+        import time
+
+        self._writer.emit(name, self.ctx, self._start, time.time(), **attrs)
+        self._writer.close()
 
 
 def _emit_observability(args, result, circuit, tracer) -> None:
-    if tracer is None:
+    if not (args.trace or args.profile):
         return
     from repro.obs import profile_report, write_jsonl_trace
 
     if args.trace:
-        count = write_jsonl_trace(tracer.records, args.trace)
-        print(f"# wrote {count} trace records to {args.trace}", file=sys.stderr)
+        if args.jobs > 1:
+            print(
+                f"# wrote span trace to {args.trace}/ "
+                f"(render with: python -m repro inspect {args.trace})",
+                file=sys.stderr,
+            )
+        else:
+            count = write_jsonl_trace(tracer.records, args.trace)
+            print(f"# wrote {count} trace records to {args.trace}", file=sys.stderr)
     if args.profile:
         if result.telemetry is None:
-            # The serial oracle has no hook sites, so nothing was recorded.
-            print(f"# engine {result.engine!r} has no telemetry", file=sys.stderr)
+            print(f"# engine {result.engine!r} recorded no telemetry", file=sys.stderr)
         else:
             print()
             print(profile_report(result.telemetry, circuit=circuit))
@@ -102,8 +151,10 @@ def _add_circuit_arg(parser: argparse.ArgumentParser) -> None:
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
-        metavar="FILE",
-        help="write a JSONL event trace of the run to FILE",
+        metavar="PATH",
+        help="write a JSONL event trace of the run to PATH; with --jobs K>1 "
+        "PATH is a trace directory receiving every process's span files "
+        "(render with `repro inspect PATH`)",
     )
     parser.add_argument(
         "--profile",
@@ -183,11 +234,6 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
 def _check_parallel_args(args) -> None:
     if args.jobs < 1:
         raise ValueError("--jobs must be >= 1")
-    if args.jobs > 1 and getattr(args, "trace", None):
-        raise ValueError(
-            "--trace records per-gate events that cannot cross the process "
-            "boundary; use --profile (merged telemetry) or --jobs 1"
-        )
     if args.jobs > 1 and getattr(args, "ladder", False):
         raise ValueError("--ladder audits a single engine; use --jobs 1")
 
@@ -304,6 +350,7 @@ def cmd_simulate(args) -> int:
                 f"--sanitize requires a concurrent engine (csim*), not {args.engine!r}"
             )
         options = base.with_(sanitize=True)
+    cli_trace = _CliTrace(_parallel_trace_dir(args))
     if args.ladder:
         if args.checkpoint:
             raise ValueError("--ladder and --checkpoint are mutually exclusive")
@@ -326,6 +373,9 @@ def cmd_simulate(args) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
+            trace_dir=cli_trace.trace_dir,
+            trace_ctx=cli_trace.ctx,
+            record_events=cli_trace.trace_dir is not None,
         )
     elif args.checkpoint:
         result = run_checkpointed(
@@ -351,7 +401,13 @@ def cmd_simulate(args) -> int:
             budget=budget,
             jobs=args.jobs,
             shard_strategy=args.shard_strategy,
+            trace_dir=cli_trace.trace_dir,
+            trace_ctx=cli_trace.ctx,
+            record_events=cli_trace.trace_dir is not None,
         )
+    cli_trace.finish(
+        f"simulate {circuit.name}", engine=args.engine, jobs=args.jobs
+    )
     print(result.summary())
     if args.verbose:
         from repro.faults.model import fault_name
@@ -375,6 +431,7 @@ def cmd_transition(args) -> int:
         from repro.concurrent.options import SimOptions
 
         options = SimOptions(split_lists=True, sanitize=True)
+    cli_trace = _CliTrace(_parallel_trace_dir(args))
     if args.checkpoint and args.jobs > 1:
         from repro.parallel import run_parallel
 
@@ -391,6 +448,9 @@ def cmd_transition(args) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
+            trace_dir=cli_trace.trace_dir,
+            trace_ctx=cli_trace.ctx,
+            record_events=cli_trace.trace_dir is not None,
         )
     elif args.checkpoint:
         result = run_checkpointed(
@@ -415,7 +475,11 @@ def cmd_transition(args) -> int:
             jobs=args.jobs,
             shard_strategy=args.shard_strategy,
             sanitize=args.sanitize,
+            trace_dir=cli_trace.trace_dir,
+            trace_ctx=cli_trace.ctx,
+            record_events=cli_trace.trace_dir is not None,
         )
+    cli_trace.finish(f"transition {circuit.name}", jobs=args.jobs)
     print(result.summary())
     _emit_observability(args, result, circuit, tracer)
     return 0
@@ -455,6 +519,7 @@ def cmd_serve(args) -> int:
         checkpoint_every=args.checkpoint_every,
         max_seconds_per_job=args.max_seconds_per_job,
         cache_results=not args.no_cache,
+        trace_dir=args.trace_dir,
     )
     service = FaultSimService(config)
     recovered = service.recover()
@@ -475,6 +540,24 @@ def cmd_serve(args) -> int:
         server.shutdown()
         server.server_close()
         service.stop()
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Render a recorded trace directory: timeline, balance, churn."""
+    from repro.obs import inspect_trace
+
+    if not os.path.isdir(args.trace_dir):
+        raise ValueError(f"{args.trace_dir}: not a trace directory")
+    print(
+        inspect_trace(
+            args.trace_dir,
+            trace_id=args.trace_id,
+            flamegraph=args.flamegraph,
+            top_k=args.top,
+            columns=args.columns,
+        )
+    )
     return 0
 
 
@@ -602,6 +685,38 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output", help="write vectors here instead of stdout")
     gen.set_defaults(handler=cmd_generate_tests)
 
+    inspect = commands.add_parser(
+        "inspect",
+        help="render a recorded trace directory (span timeline, shard "
+        "balance, gate churn, flamegraph stacks)",
+    )
+    inspect.add_argument(
+        "trace_dir", help="directory a traced run wrote its span files into"
+    )
+    inspect.add_argument(
+        "--trace-id", help="which trace to render when the directory holds several"
+    )
+    inspect.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="also write collapsed stacks to FILE (flamegraph.pl format)",
+    )
+    inspect.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="gates in the churn ranking (default 10)",
+    )
+    inspect.add_argument(
+        "--columns",
+        type=int,
+        default=48,
+        metavar="N",
+        help="timeline bar width in characters (default 48)",
+    )
+    inspect.set_defaults(handler=cmd_inspect)
+
     tables = commands.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("--scale", type=float, default=0.25)
     tables.add_argument("--quick", action="store_true")
@@ -680,6 +795,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the content-addressed result cache",
     )
     serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="record a span trace of every job here "
+        "(render with `repro inspect DIR`)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     serve.set_defaults(handler=cmd_serve)
@@ -730,6 +851,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (NetlistError, FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # standard Unix tools.  Detach stdout so interpreter shutdown
+        # does not raise a second BrokenPipeError while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

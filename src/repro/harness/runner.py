@@ -83,21 +83,27 @@ def run_stuck_at(
     budget=None,
     jobs: int = 1,
     shard_strategy: str = "round-robin",
+    trace_dir: Optional[str] = None,
+    trace_ctx=None,
+    record_events: bool = False,
 ) -> FaultSimResult:
     """Run one stuck-at engine over *tests*.
 
     ``engine`` is one of :data:`ENGINE_NAMES`; an explicit ``options``
     overrides the name lookup for concurrent variants (ablations use this).
-    A ``tracer`` (see :mod:`repro.obs`) instruments the run; the serial
-    oracle has no hook sites and ignores it.  A ``budget``
-    (:class:`repro.robust.budget.Budget`) bounds the run; a breached run
-    returns a result flagged ``truncated`` instead of hanging.
+    A ``tracer`` (see :mod:`repro.obs`) instruments the run — every
+    engine, the serial oracle included, mirrors its work counters through
+    the hooks.  A ``budget`` (:class:`repro.robust.budget.Budget`) bounds
+    the run; a breached run returns a result flagged ``truncated``
+    instead of hanging.
 
     ``jobs > 1`` shards the fault universe over that many worker
     processes (see :mod:`repro.parallel`); detections are bit-identical
-    to the single-process run.  A ``tracer`` cannot cross the process
-    boundary, so parallel runs record telemetry in every worker instead
-    and attach the merged telemetry to the result.
+    to the single-process run.  A ``tracer`` object cannot cross the
+    process boundary, so parallel runs record telemetry in every worker
+    instead and attach the merged telemetry to the result; ``trace_dir``
+    (with optional ``record_events``) additionally captures the
+    cross-process span trace (see :mod:`repro.obs.span`).
     """
     if jobs > 1:
         from repro.parallel.runner import run_parallel
@@ -112,9 +118,14 @@ def run_stuck_at(
             shard_strategy=shard_strategy,
             budget=budget,
             telemetry=tracer is not None,
+            trace_dir=trace_dir,
+            trace_ctx=trace_ctx,
+            record_events=record_events,
         )
     if engine == "serial" and options is None:
-        return simulate_serial(circuit, tests.vectors, faults, budget=budget)
+        return simulate_serial(
+            circuit, tests.vectors, faults, budget=budget, tracer=tracer
+        )
     simulator = make_stuck_at_simulator(circuit, engine, faults, options, tracer)
     return simulator.run(tests, budget=budget)
 
@@ -130,6 +141,9 @@ def run_transition(
     jobs: int = 1,
     shard_strategy: str = "round-robin",
     sanitize: bool = False,
+    trace_dir: Optional[str] = None,
+    trace_ctx=None,
+    record_events: bool = False,
 ) -> FaultSimResult:
     """Run transition-fault simulation (concurrent by default)."""
     if serial and sanitize:
@@ -147,6 +161,9 @@ def run_transition(
             shard_strategy=shard_strategy,
             budget=budget,
             telemetry=tracer is not None,
+            trace_dir=trace_dir,
+            trace_ctx=trace_ctx,
+            record_events=record_events,
         )
     if serial:
         return simulate_serial_transition(circuit, tests.vectors, faults)

@@ -41,17 +41,40 @@ from repro.obs.export import (
     write_jsonl_trace,
     write_metrics_json,
 )
+from repro.obs.span import (
+    SpanNode,
+    SpanWriter,
+    TraceContext,
+    collapsed_stacks,
+    read_spans,
+    stitch_trace,
+    trace_ids,
+    write_collapsed,
+)
+from repro.obs.prometheus import parse_prometheus_text, render_prometheus
+from repro.obs.inspect import inspect_trace
 
 __all__ = [
     "Tracer",
     "NULL_TRACER",
     "RecordingTracer",
     "Telemetry",
+    "TraceContext",
+    "SpanNode",
+    "SpanWriter",
+    "collapsed_stacks",
     "diagnostics_summary",
     "format_diagnostics",
+    "inspect_trace",
     "metrics_summary",
+    "parse_prometheus_text",
     "profile_report",
     "read_jsonl_trace",
+    "read_spans",
+    "render_prometheus",
+    "stitch_trace",
+    "trace_ids",
+    "write_collapsed",
     "write_diagnostics_json",
     "write_jsonl_trace",
     "write_metrics_json",

@@ -1,0 +1,300 @@
+"""Cross-process span tracing: one job, one trace, many processes.
+
+A *span* is a named, timed interval with a parent — the building block of
+the trace tree a distributed run leaves behind.  A :class:`TraceContext`
+(trace id + span id + parent) is created once at an entry point (the CLI,
+the serve API) and carried across process boundaries as plain picklable
+data; every process appends its spans to its own JSONL file in a shared
+*trace directory*, and :func:`stitch_trace` reassembles the files into a
+single tree keyed by trace id.  Nothing coordinates at runtime — the only
+shared state is the directory — so tracing adds no locks or queues to the
+simulation hot path.
+
+Conventions:
+
+* The **root span's id equals the trace id**, so any process holding just
+  the trace id can parent spans under the root without a side channel
+  (the serve worker reconstructs the submit-time context this way).
+* Timestamps are ``time.time()`` wall-clock seconds; all processes of one
+  job run on one host, so spans align without clock translation.
+* Files are named ``spans-<label>-<pid>.jsonl``; one writer per process,
+  append-only, flushed per record — a killed worker loses at most its
+  unflushed current span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Span files a trace directory is stitched from.
+SPAN_FILE_PREFIX = "spans-"
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex id (trace or span)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Where in one trace's tree the current work hangs.
+
+    Frozen and picklable: ship it to shard workers inside a task, or
+    rebuild the root from a bare trace id with :meth:`root_of`.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def new_trace(cls) -> "TraceContext":
+        """A fresh root context; the root span id *is* the trace id."""
+        trace_id = new_id()
+        return cls(trace_id=trace_id, span_id=trace_id)
+
+    @classmethod
+    def root_of(cls, trace_id: str) -> "TraceContext":
+        """The root context of an existing trace (span id == trace id)."""
+        return cls(trace_id=trace_id, span_id=trace_id)
+
+    def child(self) -> "TraceContext":
+        """A new context parented under this one."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=new_id(), parent_id=self.span_id
+        )
+
+
+class SpanHandle:
+    """One in-flight span; set attrs freely, it is emitted when closed."""
+
+    def __init__(self, writer: "SpanWriter", name: str, ctx: TraceContext) -> None:
+        self.writer = writer
+        self.name = name
+        self.ctx = ctx
+        self.attrs: Dict[str, object] = {}
+        self.start = time.time()
+
+    def finish(self, end: Optional[float] = None) -> None:
+        self.writer.emit(
+            self.name,
+            self.ctx,
+            self.start,
+            time.time() if end is None else end,
+            **self.attrs,
+        )
+
+
+class SpanWriter:
+    """Per-process appender of span records into a trace directory.
+
+    Thread-safe (the serve worker pool shares one writer across threads);
+    the file is opened lazily on the first span and each record is
+    flushed, so concurrent processes never interleave partial lines.
+    """
+
+    def __init__(self, trace_dir: str, label: str = "proc") -> None:
+        self.trace_dir = trace_dir
+        self.path = os.path.join(
+            trace_dir, f"{SPAN_FILE_PREFIX}{label}-{os.getpid()}.jsonl"
+        )
+        self._lock = threading.Lock()
+        self._handle = None
+        os.makedirs(trace_dir, exist_ok=True)
+
+    def emit(
+        self,
+        name: str,
+        ctx: TraceContext,
+        start: float,
+        end: float,
+        **attrs: object,
+    ) -> None:
+        record = {
+            "t": "span",
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_id": ctx.parent_id,
+            "name": name,
+            "start": start,
+            "end": end,
+            "pid": os.getpid(),
+            "attrs": attrs,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a")
+            self._handle.write(line)
+            self._handle.flush()
+
+    def span(self, name: str, parent: TraceContext) -> "_SpanScope":
+        """Context manager: a child span under *parent*, emitted on exit."""
+        return _SpanScope(SpanHandle(self, name, parent.child()))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class _SpanScope:
+    def __init__(self, handle: SpanHandle) -> None:
+        self.handle = handle
+
+    def __enter__(self) -> SpanHandle:
+        self.handle.start = time.time()
+        return self.handle
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.handle.finish()
+
+
+# ----------------------------------------------------------------------
+# reading and stitching
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    """One stitched span with its children sorted by start time."""
+
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    end: float
+    pid: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def self_time(self) -> float:
+        """Duration not covered by child spans (clamped at zero)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self, depth: int = 0) -> Iterator[tuple]:
+        """Depth-first (node, depth) pairs, children in start order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+def span_files(trace_dir: str) -> List[str]:
+    """The span JSONL files in *trace_dir*, in deterministic order."""
+    try:
+        names = sorted(os.listdir(trace_dir))
+    except NotADirectoryError:
+        return [trace_dir]
+    return [
+        os.path.join(trace_dir, name)
+        for name in names
+        if name.startswith(SPAN_FILE_PREFIX) and name.endswith(".jsonl")
+    ]
+
+
+def read_spans(trace_dir: str) -> List[dict]:
+    """Every span record from every span file under *trace_dir*."""
+    records: List[dict] = []
+    for path in span_files(trace_dir):
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("t") == "span":
+                    records.append(record)
+    return records
+
+
+def trace_ids(spans: List[dict]) -> List[str]:
+    """Distinct trace ids present in *spans*, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for record in spans:
+        seen.setdefault(record["trace_id"], None)
+    return list(seen)
+
+
+def stitch_trace(spans: List[dict], trace_id: Optional[str] = None) -> List[SpanNode]:
+    """Reassemble one trace's span tree from raw records.
+
+    Returns the root nodes (spans whose parent is absent from the trace —
+    normally exactly one), children sorted by start time.  With
+    ``trace_id=None`` the records must all belong to one trace.
+    """
+    if trace_id is None:
+        ids = trace_ids(spans)
+        if len(ids) > 1:
+            raise ValueError(
+                f"trace directory holds {len(ids)} traces; pass trace_id"
+            )
+        if not ids:
+            return []
+        trace_id = ids[0]
+    nodes: Dict[str, SpanNode] = {}
+    for record in spans:
+        if record["trace_id"] != trace_id:
+            continue
+        node = SpanNode(
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            name=record["name"],
+            start=record["start"],
+            end=record["end"],
+            pid=record.get("pid", 0),
+            attrs=dict(record.get("attrs", {})),
+        )
+        nodes[node.span_id] = node
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: (child.start, child.name))
+    roots.sort(key=lambda root: (root.start, root.name))
+    return roots
+
+
+def collapsed_stacks(roots: List[SpanNode]) -> Dict[str, int]:
+    """Flamegraph folded stacks: ``root;child;...`` -> self-time in µs.
+
+    The output of :func:`write_collapsed` is directly consumable by
+    Brendan Gregg's ``flamegraph.pl`` and compatible viewers.
+    """
+    stacks: Dict[str, int] = {}
+    for root in roots:
+        _fold(root, [], stacks)
+    return stacks
+
+
+def _fold(node: SpanNode, prefix: List[str], stacks: Dict[str, int]) -> None:
+    path = prefix + [node.name.replace(";", ",")]
+    micros = int(round(node.self_time() * 1e6))
+    if micros > 0:
+        key = ";".join(path)
+        stacks[key] = stacks.get(key, 0) + micros
+    for child in node.children:
+        _fold(child, path, stacks)
+
+
+def write_collapsed(roots: List[SpanNode], path: str) -> int:
+    """Write folded stacks to *path* (one ``stack count`` line); returns
+    the number of lines written."""
+    stacks = collapsed_stacks(roots)
+    with open(path, "w") as handle:
+        for stack, micros in sorted(stacks.items()):
+            handle.write(f"{stack} {micros}\n")
+    return len(stacks)

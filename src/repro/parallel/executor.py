@@ -23,11 +23,13 @@ Two executors run task lists:
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.concurrent.options import SimOptions
+from repro.obs.span import SpanWriter, TraceContext
 from repro.patterns.vectors import TestSequence, Vector
 from repro.result import FaultSimResult
 from repro.robust.budget import Budget
@@ -54,16 +56,91 @@ class ShardTask:
     #: Extra fingerprint material binding the shard checkpoint to its
     #: position in the campaign (strategy, index, total).
     fingerprint_extra: tuple = field(default_factory=tuple)
+    #: Span-tracing context (see repro.obs.span): when ``trace_dir`` is
+    #: set the worker appends its shard span tree there, parented under
+    #: ``trace_parent`` so the campaign stitches into one trace.
+    trace_dir: Optional[str] = None
+    trace_parent: Optional[TraceContext] = None
+    #: Record the per-gate engine event stream into the trace directory.
+    record_events: bool = False
+
+
+def _make_cycle_clock_tracer(record_events: bool):
+    """A RecordingTracer that also wall-clocks every cycle boundary."""
+    import time
+
+    from repro.obs import RecordingTracer
+
+    class CycleClockTracer(RecordingTracer):
+        def __init__(self) -> None:
+            super().__init__(record_events=record_events)
+            self.cycle_clock: List[Tuple[int, float]] = []
+
+        def cycle_start(self, cycle: int) -> None:
+            self.cycle_clock.append((cycle, time.time()))
+            super().cycle_start(cycle)
+
+    return CycleClockTracer()
+
+
+def _emit_cycle_range_spans(
+    writer: SpanWriter,
+    parent: TraceContext,
+    cycle_clock: List[Tuple[int, float]],
+    end_time: float,
+    max_ranges: int = 8,
+) -> None:
+    """Chunk the cycle clock into at most *max_ranges* child spans."""
+    if not cycle_clock:
+        return
+    chunk = max(1, (len(cycle_clock) + max_ranges - 1) // max_ranges)
+    for start_index in range(0, len(cycle_clock), chunk):
+        group = cycle_clock[start_index:start_index + chunk]
+        next_index = start_index + chunk
+        range_end = (
+            cycle_clock[next_index][1] if next_index < len(cycle_clock) else end_time
+        )
+        writer.emit(
+            f"cycles {group[0][0]}-{group[-1][0]}",
+            parent.child(),
+            group[0][1],
+            range_end,
+            first_cycle=group[0][0],
+            last_cycle=group[-1][0],
+        )
 
 
 def simulate_shard(task: ShardTask) -> Tuple[int, FaultSimResult]:
-    """Run one shard to completion; returns ``(shard_index, result)``."""
-    from repro.harness.runner import run_stuck_at, run_transition
+    """Run one shard to completion; returns ``(shard_index, result)``.
+
+    With tracing armed (``trace_dir`` + ``trace_parent``) the worker
+    process writes a ``shard i/N`` span carrying the shard's work
+    counters, cycle-range child spans, and — when ``record_events`` — the
+    engine's per-gate event stream, all into the shared trace directory.
+    """
+    import time
+
     from repro.obs import RecordingTracer
-    from repro.robust.runner import run_checkpointed
 
     tests = TestSequence(len(task.circuit.inputs), list(task.vectors))
-    tracer = RecordingTracer() if task.telemetry else None
+    tracing = task.trace_dir is not None and task.trace_parent is not None
+    if tracing:
+        tracer = _make_cycle_clock_tracer(task.record_events)
+    elif task.telemetry:
+        tracer = RecordingTracer()
+    else:
+        tracer = None
+    shard_started = time.time()
+    result = _run_shard(task, tests, tracer)
+    if tracing:
+        _write_shard_trace(task, tracer, result, shard_started)
+    return task.index, result
+
+
+def _run_shard(task: ShardTask, tests: TestSequence, tracer) -> FaultSimResult:
+    from repro.harness.runner import run_stuck_at, run_transition
+    from repro.robust.runner import run_checkpointed
+
     if task.checkpoint_path is not None:
         result = run_checkpointed(
             task.circuit,
@@ -98,7 +175,61 @@ def simulate_shard(task: ShardTask) -> Tuple[int, FaultSimResult]:
             tracer=tracer,
             budget=task.budget,
         )
-    return task.index, result
+    return result
+
+
+def _write_shard_trace(
+    task: ShardTask, tracer, result: FaultSimResult, shard_started: float
+) -> None:
+    """Append this shard's span tree (and optional event stream) to the
+    trace directory.  The shard span carries the work counters so the
+    inspection CLI can build the balance table from spans alone."""
+    import time
+
+    assert task.trace_dir is not None and task.trace_parent is not None
+    writer = SpanWriter(task.trace_dir, label=f"shard{task.index:02d}")
+    try:
+        shard_ctx = task.trace_parent.child()
+        counters = result.counters
+        writer.emit(
+            f"shard {task.index}/{task.total}",
+            shard_ctx,
+            shard_started,
+            time.time(),
+            shard=task.index,
+            total=task.total,
+            engine=result.engine,
+            strategy=task.strategy,
+            faults=len(task.faults),
+            detected=result.num_detected,
+            cycles=counters.cycles,
+            good_evaluations=counters.good_evaluations,
+            fault_evaluations=counters.fault_evaluations,
+            element_visits=counters.element_visits,
+            events=counters.events,
+            gates_scheduled=counters.gates_scheduled,
+            pid=os.getpid(),
+        )
+        _emit_cycle_range_spans(
+            writer, shard_ctx, getattr(tracer, "cycle_clock", []), time.time()
+        )
+        if task.record_events and getattr(tracer, "records", None):
+            from repro.obs.export import write_jsonl_trace
+
+            events_path = os.path.join(
+                task.trace_dir,
+                f"events-shard{task.index:02d}-of-{task.total:02d}.jsonl",
+            )
+            header = {
+                "t": "shard_header",
+                "trace_id": task.trace_parent.trace_id,
+                "span_id": shard_ctx.span_id,
+                "shard": task.index,
+                "total": task.total,
+            }
+            write_jsonl_trace([header] + list(tracer.records), events_path)
+    finally:
+        writer.close()
 
 
 #: Callback fired after each completed shard: (shard_index, result).

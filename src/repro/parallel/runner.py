@@ -33,10 +33,13 @@ import os
 import time
 from typing import List, Optional
 
+import json
+
 from repro.circuit.netlist import Circuit
 from repro.concurrent.options import SimOptions
 from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
+from repro.obs.span import SpanWriter, TraceContext
 from repro.parallel.executor import (
     MultiprocessExecutor,
     SequentialExecutor,
@@ -90,6 +93,9 @@ def run_parallel(
     resume: bool = False,
     checkpoint_every: int = 64,
     executor=None,
+    trace_dir: Optional[str] = None,
+    trace_ctx: Optional[TraceContext] = None,
+    record_events: bool = False,
 ) -> FaultSimResult:
     """Run one fault-simulation campaign sharded over *jobs* workers.
 
@@ -101,7 +107,16 @@ def run_parallel(
 
     ``telemetry=True`` records a :class:`repro.obs.RecordingTracer` in
     every worker and attaches the merged telemetry to the result (the
-    parallel counterpart of passing a tracer to a single-process run).
+    parallel counterpart of passing a tracer to a single-process run);
+    the merged totals reconcile exactly with the merged work counters.
+
+    ``trace_dir`` arms cross-process span tracing: every shard worker
+    appends its span tree (shard → cycle ranges) to the directory,
+    parented under ``trace_ctx`` (a fresh root trace when None), and the
+    campaign writes ``plan``/``merge`` spans plus ``telemetry.json`` and
+    ``manifest.json`` sidecars.  Tracing implies ``telemetry``.
+    ``record_events`` additionally streams each shard's per-gate engine
+    events to ``events-shard*.jsonl`` files (the ``--trace`` payload).
     """
     if shard_strategy not in STRATEGIES:
         raise ValueError(
@@ -110,9 +125,27 @@ def run_parallel(
     if resume and checkpoint_path is None:
         raise ValueError("resume requested without a checkpoint path")
 
+    writer: Optional[SpanWriter] = None
+    if trace_dir is not None:
+        if trace_ctx is None:
+            trace_ctx = TraceContext.new_trace()
+        telemetry = True
+        writer = SpanWriter(trace_dir, label="campaign")
+
+    plan_started = time.time()
     shards = plan_shards(
         circuit, faults, jobs, shard_strategy, overshard, transition=transition
     )
+    if writer is not None and trace_ctx is not None:
+        writer.emit(
+            "plan",
+            trace_ctx.child(),
+            plan_started,
+            time.time(),
+            shards=len(shards),
+            strategy=shard_strategy,
+            jobs=jobs,
+        )
     total = len(shards)
     tasks: List[ShardTask] = []
     for index, shard in enumerate(shards):
@@ -138,6 +171,9 @@ def run_parallel(
                 checkpoint_every=checkpoint_every,
                 strategy=shard_strategy,
                 fingerprint_extra=("shard", shard_strategy, index, total),
+                trace_dir=trace_dir,
+                trace_parent=trace_ctx,
+                record_events=record_events,
             )
         )
 
@@ -153,6 +189,52 @@ def run_parallel(
         raise CampaignInterrupted(checkpoint_path, exc.cycles_done) from None
     except KeyboardInterrupt:
         raise CampaignInterrupted(checkpoint_path) from None
+    merge_started = time.time()
     merged = merge_results(results, wall_seconds=time.perf_counter() - started)
     merged.circuit_name = circuit.name
+    if writer is not None and trace_ctx is not None and trace_dir is not None:
+        writer.emit(
+            "merge",
+            trace_ctx.child(),
+            merge_started,
+            time.time(),
+            shards=total,
+            detected=merged.num_detected,
+        )
+        _write_trace_sidecars(trace_dir, trace_ctx, merged, jobs, shard_strategy, total)
+        writer.close()
     return merged
+
+
+def _write_trace_sidecars(
+    trace_dir: str,
+    trace_ctx: TraceContext,
+    merged: FaultSimResult,
+    jobs: int,
+    shard_strategy: str,
+    shards: int,
+) -> None:
+    """The inspection sidecars: merged telemetry summary + trace manifest.
+
+    File names carry the trace id so concurrent campaigns sharing one
+    trace directory (the serve worker pool) never clobber each other;
+    ``repro inspect`` resolves them by the trace it is rendering.
+    """
+    manifest = {
+        "trace_id": trace_ctx.trace_id,
+        "circuit": merged.circuit_name,
+        "engine": merged.engine,
+        "jobs": jobs,
+        "shards": shards,
+        "strategy": shard_strategy,
+    }
+    suffix = f"-{trace_ctx.trace_id}"
+    with open(os.path.join(trace_dir, f"manifest{suffix}.json"), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if merged.telemetry is not None:
+        from repro.obs.export import write_metrics_json
+
+        write_metrics_json(
+            merged.telemetry, os.path.join(trace_dir, f"telemetry{suffix}.json")
+        )

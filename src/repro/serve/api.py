@@ -13,8 +13,10 @@ GET       ``/jobs/<id>``          job status
 GET       ``/jobs/<id>/result``   canonical result document; ``409`` until the
                                   job reaches ``done``
 POST      ``/jobs/<id>/cancel``   cancel a *queued* job; ``409`` otherwise
-GET       ``/healthz``            liveness + worker/queue gauges
-GET       ``/metrics``            :meth:`ServiceMetrics.snapshot` document
+GET       ``/healthz``            liveness + worker/queue gauges + uptime
+GET       ``/metrics``            :meth:`ServiceMetrics.snapshot` document;
+                                  with ``Accept: text/plain`` the same metrics
+                                  in Prometheus text exposition format
 ========  ======================  =============================================
 
 The server is a :class:`http.server.ThreadingHTTPServer`, so requests are
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -101,7 +104,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send(200, self.service.health())
             return
         if path == "/metrics":
-            self._send(200, self.service.metrics_snapshot())
+            self._metrics()
             return
         if path == "/jobs":
             self._send(
@@ -141,7 +144,31 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- handlers -------------------------------------------------------
 
+    def _metrics(self) -> None:
+        """``/metrics``: JSON by default, Prometheus when asked for text.
+
+        Content negotiation keys on ``text/plain`` anywhere in ``Accept``
+        (what Prometheus scrapers send); the JSON document stays the
+        default and the source of truth — the exposition re-renders it.
+        """
+        snapshot = self.service.metrics_snapshot()
+        accept = self.headers.get("Accept", "")
+        if "text/plain" in accept:
+            from repro.obs import render_prometheus
+
+            body = render_prometheus(snapshot).encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._send(200, snapshot)
+
     def _submit(self) -> None:
+        api_started = time.time()
         try:
             payload = self._read_json()
             if not isinstance(payload, dict):
@@ -153,7 +180,24 @@ class ServeHandler(BaseHTTPRequestHandler):
         except QueueFull as exc:
             self._error(429, str(exc), retry_after=1)
             return
+        self._emit_api_span(record, api_started)
         self._send(201 if created else 200, record.public_dict())
+
+    def _emit_api_span(self, record: object, started: float) -> None:
+        """Span for the API-side handling of one accepted submission."""
+        spans = self.service.spans
+        trace_id = getattr(record, "trace_id", None)
+        if spans is None or trace_id is None:
+            return
+        from repro.obs import TraceContext
+
+        spans.emit(
+            "api POST /jobs",
+            TraceContext.root_of(trace_id).child(),
+            started,
+            time.time(),
+            job=getattr(record, "job_id", None),
+        )
 
     def _get_result(self, job_id: str) -> None:
         record = self.service.status(job_id)

@@ -16,11 +16,28 @@ contract :meth:`repro.obs.Telemetry.summary_dict` keeps.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from repro.result import WorkCounters
+
+
+def service_version() -> str:
+    """The running package version (installed distribution or source tree)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - Python < 3.8
+        pass
+    from repro import __version__
+
+    return str(__version__)
 
 #: Geometric latency bucket upper bounds, in seconds.
 LATENCY_BUCKETS = tuple(
@@ -78,6 +95,7 @@ class ServiceMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self.started_at = time.time()
         self.jobs_submitted = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -150,6 +168,9 @@ class ServiceMetrics:
             for size, count in self.batch_size_counts.items():
                 sizes.extend([size] * count)
             return {
+                "version": service_version(),
+                "started_at": self.started_at,
+                "uptime_seconds": time.time() - self.started_at,
                 "jobs": {
                     "submitted": self.jobs_submitted,
                     "completed": self.jobs_completed,

@@ -38,12 +38,13 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.obs.span import SpanWriter, TraceContext
 from repro.result import FaultSimResult, WorkCounters
 from repro.robust.budget import Budget
 from repro.robust.checkpoint import CheckpointError, read_checkpoint
 from repro.serve.batch import Batcher
 from repro.serve.cache import ResultCache, cache_key, serialize_result
-from repro.serve.metrics import ServiceMetrics
+from repro.serve.metrics import ServiceMetrics, service_version
 from repro.serve.queue import JobQueue, QueueFull
 from repro.serve.spec import JobSpec, ResolvedJob, SpecError, SpecResolver
 from repro.serve.store import TERMINAL_STATES, JobRecord, JobStore
@@ -65,6 +66,10 @@ class ServeConfig:
     max_seconds_per_job: Optional[float] = None
     cache_results: bool = True
     resolver_capacity: int = 4
+    #: Span-trace directory (None = tracing off).  Every job gets its own
+    #: trace id; API threads, workers and shard processes append span
+    #: files there (render with ``repro inspect``).
+    trace_dir: Optional[str] = None
 
 
 class FaultSimService:
@@ -81,6 +86,11 @@ class FaultSimService:
         self.batcher = Batcher(self.store, config.max_batch)
         self.resolver = SpecResolver(config.resolver_capacity)
         self.metrics = ServiceMetrics()
+        self.spans: Optional[SpanWriter] = (
+            SpanWriter(config.trace_dir, label="serve")
+            if config.trace_dir is not None
+            else None
+        )
         self._workers: List[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -104,6 +114,8 @@ class FaultSimService:
             priority=spec.priority,
             idempotency_key=spec.idempotency_key,
         )
+        if self.spans is not None:
+            record.trace_id = TraceContext.new_trace().trace_id
         if self.config.cache_results and self._serve_from_cache(record, spec):
             self.metrics.submitted()
             return record, True
@@ -137,6 +149,7 @@ class FaultSimService:
         self.store.save(record)
         self.metrics.cache_hit()
         self.metrics.completed(simulated=False, counters=None)
+        self._emit_job_span(record)
         return True
 
     # -- queries --------------------------------------------------------
@@ -166,6 +179,9 @@ class FaultSimService:
     def health(self) -> dict:
         return {
             "status": "ok",
+            "version": service_version(),
+            "started_at": self.metrics.started_at,
+            "uptime_seconds": time.time() - self.metrics.started_at,
             "workers_alive": sum(1 for w in self._workers if w.is_alive()),
             "workers_configured": self.config.workers,
             "queue_depth": self.queue.depth(),
@@ -238,6 +254,8 @@ class FaultSimService:
         for worker in self._workers:
             worker.join(timeout=timeout)
         self._workers = [w for w in self._workers if w.is_alive()]
+        if self.spans is not None:
+            self.spans.close()
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
@@ -267,12 +285,30 @@ class FaultSimService:
         record.batch_size = batch_size
         self.store.save(record)
         self.metrics.phase("queue_wait", record.started_at - record.created_at)
+        root = self._job_root(record)
+        if self.spans is not None and root is not None:
+            self.spans.emit(
+                "queue_wait",
+                root.child(),
+                record.created_at,
+                record.started_at,
+                job=record.job_id,
+            )
         try:
             started = time.perf_counter()
+            setup_wall = time.time()
             resolved = self.resolver.resolve(spec)
             key = cache_key(spec, resolved.circuit, resolved.tests, resolved.faults)
             record.cache_key = key
             self.metrics.phase("setup", time.perf_counter() - started)
+            if self.spans is not None and root is not None:
+                self.spans.emit(
+                    "setup",
+                    root.child(),
+                    setup_wall,
+                    time.time(),
+                    circuit=resolved.circuit.name,
+                )
 
             if self.config.cache_results:
                 blob = self.cache.get(key)
@@ -283,14 +319,36 @@ class FaultSimService:
                 self.metrics.cache_miss()
 
             simulate_started = time.perf_counter()
-            result = self._simulate(record, spec, resolved)
+            simulate_wall = time.time()
+            sim_ctx = root.child() if root is not None else None
+            result = self._simulate(record, spec, resolved, sim_ctx)
             self.metrics.phase("simulate", time.perf_counter() - simulate_started)
+            if self.spans is not None and sim_ctx is not None:
+                self.spans.emit(
+                    "simulate",
+                    sim_ctx,
+                    simulate_wall,
+                    time.time(),
+                    engine=result.engine,
+                    jobs=spec.jobs,
+                    detected=result.num_detected,
+                )
 
             serialize_started = time.perf_counter()
+            serialize_wall = time.time()
             blob = serialize_result(result, resolved.circuit)
             self.store.write_result(record.job_id, blob)
+            if self.spans is not None and root is not None:
+                self.spans.emit(
+                    "serialize", root.child(), serialize_wall, time.time()
+                )
             if self.config.cache_results and not result.truncated:
+                store_wall = time.time()
                 self.cache.put(key, blob)
+                if self.spans is not None and root is not None:
+                    self.spans.emit(
+                        "cache_store", root.child(), store_wall, time.time()
+                    )
             self.metrics.phase(
                 "serialize", time.perf_counter() - serialize_started
             )
@@ -303,6 +361,29 @@ class FaultSimService:
             record.finished_at = time.time()
             self.store.save(record)
             self.metrics.failed()
+            self._emit_job_span(record)
+
+    def _job_root(self, record: JobRecord) -> Optional[TraceContext]:
+        """The job's root trace context, rebuilt from the bare trace id."""
+        if self.spans is None or record.trace_id is None:
+            return None
+        return TraceContext.root_of(record.trace_id)
+
+    def _emit_job_span(self, record: JobRecord) -> None:
+        """Emit the trace's root span covering the job end to end."""
+        root = self._job_root(record)
+        if self.spans is None or root is None or record.finished_at is None:
+            return
+        self.spans.emit(
+            "job",
+            root,
+            record.created_at,
+            record.finished_at,
+            job=record.job_id,
+            state=record.state,
+            cache_hit=record.cache_hit,
+            attempts=record.attempts,
+        )
 
     def _finish(
         self,
@@ -319,9 +400,14 @@ class FaultSimService:
             self.metrics.cache_hit()
         self.store.save(record)
         self.metrics.completed(simulated=not cache_hit, counters=counters)
+        self._emit_job_span(record)
 
     def _simulate(
-        self, record: JobRecord, spec: JobSpec, resolved: ResolvedJob
+        self,
+        record: JobRecord,
+        spec: JobSpec,
+        resolved: ResolvedJob,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> FaultSimResult:
         budget = None
         if spec.max_cycles is not None or self.config.max_seconds_per_job is not None:
@@ -354,9 +440,12 @@ class FaultSimService:
                 jobs=spec.jobs,
                 shard_strategy=spec.shard_strategy,
                 budget=budget,
+                telemetry=trace_ctx is not None,
                 checkpoint_path=checkpoint_path,
                 resume=record.attempts > 1,
                 checkpoint_every=self.config.checkpoint_every,
+                trace_dir=self.config.trace_dir if trace_ctx is not None else None,
+                trace_ctx=trace_ctx,
             )
         from repro.robust.runner import run_checkpointed
 

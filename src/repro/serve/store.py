@@ -59,6 +59,10 @@ class JobRecord:
     error: Optional[str] = None
     #: Human-readable one-liner of the finished result.
     summary: Optional[str] = None
+    #: Span-trace id of this job (set when the service traces; the trace's
+    #: root span id equals it, so workers rebuild the root context from
+    #: the bare id — see :mod:`repro.obs.span`).
+    trace_id: Optional[str] = None
 
     def public_dict(self) -> dict:
         """The JSON shape the API returns for status queries."""

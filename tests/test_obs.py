@@ -257,10 +257,12 @@ class TestHarnessIntegration:
         json.dumps(summary)
         assert summary["counters"]["cycles"] == summary["num_cycles"]
 
-    def test_serial_ignores_tracer(self, s27):
+    def test_serial_oracle_reconciles(self, s27):
         tests = _tests(s27, 10)
-        result = run_stuck_at(s27, tests, "serial", tracer=RecordingTracer())
-        assert result.telemetry is None
+        tracer = RecordingTracer()
+        result = run_stuck_at(s27, tests, "serial", tracer=tracer)
+        assert result.telemetry is not None
+        assert tracer.totals == result.counters
         assert result.wall_seconds > 0.0
 
 
@@ -312,11 +314,12 @@ class TestCli:
                      "--profile"]) == 0
         assert "profile: csim-TV on s27" in capsys.readouterr().out
 
-    def test_serial_profile_degrades_gracefully(self, capsys):
+    def test_serial_profile_works(self, capsys):
+        """The serial oracle records telemetry too — --profile prints it."""
         assert main(["simulate", "s27", "--engine", "serial",
                      "--random-patterns", "5", "--profile"]) == 0
         captured = capsys.readouterr()
-        assert "no telemetry" in captured.err
+        assert "profile: serial" in captured.out
 
     def test_no_flags_no_tracing(self, capsys):
         assert main(["simulate", "s27", "--random-patterns", "10"]) == 0

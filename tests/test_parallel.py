@@ -399,9 +399,11 @@ class TestParallelCli:
         assert main(argv + ["--jobs", "2", "--shard-strategy", "work-stealing"]) == 0
         assert self._coverage(capsys.readouterr().out) == single
 
-    def test_trace_with_jobs_rejected(self, tmp_path, capsys):
+    def test_trace_with_jobs_writes_span_trace(self, tmp_path, capsys):
         from repro.cli import main
+        from repro.obs.span import read_spans, stitch_trace, trace_ids
 
+        trace_dir = tmp_path / "trace"
         assert (
             main(
                 [
@@ -412,12 +414,19 @@ class TestParallelCli:
                     "--jobs",
                     "2",
                     "--trace",
-                    str(tmp_path / "t.jsonl"),
+                    str(trace_dir),
                 ]
             )
-            == 2
+            == 0
         )
-        assert "process boundary" in capsys.readouterr().err
+        assert "span trace" in capsys.readouterr().err
+        spans = read_spans(str(trace_dir))
+        ids = trace_ids(spans)
+        assert len(ids) == 1
+        roots = stitch_trace(spans, ids[0])
+        names = {node.name for root in roots for node, _ in root.walk()}
+        assert any(name.startswith("shard ") for name in names)
+        assert "merge" in names
 
     def test_bad_jobs_rejected(self, capsys):
         from repro.cli import main

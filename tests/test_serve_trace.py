@@ -1,0 +1,163 @@
+"""Acceptance: one HTTP-submitted sharded job renders as one span tree.
+
+The observability plane's end-to-end contract: a job submitted over the
+REST API with ``jobs: 4`` leaves exactly one trace whose stitched tree
+covers the API handling, the queue wait, the worker's setup/simulate/
+serialize phases, every shard process and the merge — and the merged
+telemetry sidecar reconciles exactly with the work counters the service
+aggregated for the job.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs.span import read_spans, stitch_trace, trace_ids
+from repro.serve import FaultSimService, ServeConfig, make_server
+
+JOB = {"circuit": "s27", "random_patterns": 24, "seed": 13, "jobs": 4}
+
+
+@pytest.fixture
+def traced_service(tmp_path):
+    trace_dir = str(tmp_path / "trace")
+    service = FaultSimService(
+        ServeConfig(
+            state_dir=str(tmp_path / "state"), workers=1, trace_dir=trace_dir
+        )
+    )
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    yield service, server.server_address[1], trace_dir
+    service.stop()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _post(port, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/jobs",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _wait_done(port, job_id, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/jobs/{job_id}", timeout=30
+        ) as response:
+            record = json.loads(response.read())
+        if record["state"] in ("done", "failed", "cancelled"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestShardedJobTrace:
+    def test_single_trace_covers_api_to_merge(self, traced_service):
+        service, port, trace_dir = traced_service
+        status, submitted = _post(port, dict(JOB))
+        assert status == 201
+        record = _wait_done(port, submitted["job_id"])
+        assert record["state"] == "done", record
+        service.stop()  # flush the serve-side span writer
+
+        spans = read_spans(trace_dir)
+        ids = trace_ids(spans)
+        assert len(ids) == 1, f"expected one trace, got {ids}"
+        (root,) = stitch_trace(spans, ids[0])
+
+        assert root.name == "job"
+        assert root.span_id == ids[0]  # root span id == trace id
+        assert root.attrs["state"] == "done"
+        names = {node.name for node, _ in root.walk()}
+        for phase in (
+            "api POST /jobs",
+            "queue_wait",
+            "setup",
+            "simulate",
+            "serialize",
+            "cache_store",
+        ):
+            assert phase in names, f"missing {phase!r} in {sorted(names)}"
+
+        # The simulate span owns the parallel campaign: plan, every
+        # shard, merge — nested, not dangling off the root.
+        (simulate,) = [
+            node for node, _ in root.walk() if node.name == "simulate"
+        ]
+        sim_names = {node.name for node, _ in simulate.walk()}
+        assert "plan" in sim_names
+        assert "merge" in sim_names
+        shard_spans = [
+            node for node, _ in simulate.walk() if "shard" in node.attrs
+        ]
+        total = int(shard_spans[0].attrs["total"])
+        assert {int(node.attrs["shard"]) for node in shard_spans} == set(
+            range(total)
+        )
+        # Shards ran in worker processes, not the serve thread.
+        serve_pid = root.pid
+        assert all(node.pid != serve_pid for node in shard_spans)
+        assert len({node.pid for node in shard_spans}) >= 2
+
+    def test_telemetry_sidecar_reconciles_with_service_counters(
+        self, traced_service
+    ):
+        service, port, trace_dir = traced_service
+        _, submitted = _post(port, dict(JOB))
+        record = _wait_done(port, submitted["job_id"])
+        assert record["state"] == "done"
+
+        spans = read_spans(trace_dir)
+        (trace_id,) = trace_ids(spans)
+        with open(f"{trace_dir}/telemetry-{trace_id}.json") as handle:
+            telemetry = json.load(handle)
+        counters = service.metrics_snapshot()["counters"]
+        # One simulated job: the service's aggregate work counters ARE
+        # this job's merged telemetry totals.
+        assert telemetry["counters"] == counters
+        assert counters["fault_evaluations"] > 0
+
+    def test_cache_hit_job_gets_its_own_trace(self, traced_service):
+        """A duplicate served from the cache still leaves a (tiny) trace."""
+        service, port, trace_dir = traced_service
+        _, first = _post(port, dict(JOB))
+        _wait_done(port, first["job_id"])
+        status, second = _post(port, dict(JOB))
+        assert status == 201
+        record = _wait_done(port, second["job_id"])
+        assert record["state"] == "done"
+        assert record["cache_hit"] is True
+        service.stop()
+
+        spans = read_spans(trace_dir)
+        ids = trace_ids(spans)
+        assert len(ids) == 2
+        by_hit = {}
+        for trace_id in ids:
+            (root,) = stitch_trace(spans, trace_id)
+            assert root.name == "job"
+            by_hit[bool(root.attrs["cache_hit"])] = root
+        assert set(by_hit) == {False, True}
+        hit_names = {node.name for node, _ in by_hit[True].walk()}
+        assert "simulate" not in hit_names  # never re-simulated
+
+    def test_untraced_service_writes_nothing(self, tmp_path):
+        service = FaultSimService(
+            ServeConfig(state_dir=str(tmp_path / "state"), workers=0)
+        )
+        record, _ = service.submit({"circuit": "s27", "random_patterns": 8})
+        assert record.trace_id is None
+        service.drain()
+        assert service.status(record.job_id).state == "done"

@@ -1,0 +1,203 @@
+"""Span tracing: contexts, writers, stitching, collapsed stacks.
+
+The cross-process contract under test: a :class:`TraceContext` minted at
+an entry point and carried (pickled, or as a bare trace id) into other
+processes yields span files that :func:`stitch_trace` reassembles into
+one tree — no runtime coordination, the directory is the only shared
+state.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.span import (
+    SpanWriter,
+    TraceContext,
+    collapsed_stacks,
+    new_id,
+    read_spans,
+    span_files,
+    stitch_trace,
+    trace_ids,
+    write_collapsed,
+)
+
+
+class TestTraceContext:
+    def test_root_span_id_is_trace_id(self):
+        ctx = TraceContext.new_trace()
+        assert ctx.span_id == ctx.trace_id
+        assert ctx.parent_id is None
+
+    def test_root_of_rebuilds_root(self):
+        """Any process holding just the trace id can parent under the root."""
+        ctx = TraceContext.new_trace()
+        rebuilt = TraceContext.root_of(ctx.trace_id)
+        assert rebuilt == ctx
+
+    def test_child_keeps_trace_and_parents_under_self(self):
+        root = TraceContext.new_trace()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_picklable(self):
+        import pickle
+
+        ctx = TraceContext.new_trace().child()
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_ids_are_unique_hex(self):
+        ids = {new_id() for _ in range(256)}
+        assert len(ids) == 256
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+class TestSpanWriter:
+    def test_emit_and_read_roundtrip(self, tmp_path):
+        writer = SpanWriter(str(tmp_path), label="t")
+        root = TraceContext.new_trace()
+        writer.emit("work", root, 1.0, 2.5, faults=7)
+        writer.close()
+        spans = read_spans(str(tmp_path))
+        assert len(spans) == 1
+        record = spans[0]
+        assert record["name"] == "work"
+        assert record["trace_id"] == root.trace_id
+        assert record["attrs"] == {"faults": 7}
+        assert record["pid"] == os.getpid()
+
+    def test_span_context_manager_emits_on_exit(self, tmp_path):
+        writer = SpanWriter(str(tmp_path), label="t")
+        root = TraceContext.new_trace()
+        with writer.span("step", root) as handle:
+            handle.attrs["k"] = "v"
+        writer.close()
+        (record,) = read_spans(str(tmp_path))
+        assert record["name"] == "step"
+        assert record["parent_id"] == root.span_id
+        assert record["attrs"] == {"k": "v"}
+        assert record["end"] >= record["start"]
+
+    def test_file_named_by_label_and_pid(self, tmp_path):
+        writer = SpanWriter(str(tmp_path), label="serve")
+        writer.emit("x", TraceContext.new_trace(), 0.0, 1.0)
+        writer.close()
+        (path,) = span_files(str(tmp_path))
+        assert os.path.basename(path) == f"spans-serve-{os.getpid()}.jsonl"
+
+    def test_no_file_until_first_span(self, tmp_path):
+        SpanWriter(str(tmp_path), label="idle")
+        assert span_files(str(tmp_path)) == []
+
+    def test_non_span_lines_ignored(self, tmp_path):
+        path = tmp_path / "spans-x-1.jsonl"
+        path.write_text(json.dumps({"t": "other"}) + "\n")
+        assert read_spans(str(tmp_path)) == []
+
+
+class TestStitching:
+    def _emit_tree(self, tmp_path):
+        """root -> (a -> a1, b) written across two 'processes' (files)."""
+        root = TraceContext.new_trace()
+        a = root.child()
+        first = SpanWriter(str(tmp_path), label="one")
+        first.emit("root", root, 0.0, 10.0)
+        first.emit("a", a, 1.0, 5.0)
+        first.close()
+        second = SpanWriter(str(tmp_path), label="two")
+        # A different file, as a shard worker process would produce.
+        second.path = os.path.join(str(tmp_path), "spans-two-99999.jsonl")
+        second.emit("a1", a.child(), 2.0, 3.0)
+        second.emit("b", root.child(), 6.0, 9.0)
+        second.close()
+        return root
+
+    def test_cross_file_tree(self, tmp_path):
+        root_ctx = self._emit_tree(tmp_path)
+        spans = read_spans(str(tmp_path))
+        (root,) = stitch_trace(spans, root_ctx.trace_id)
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["a", "b"]
+        assert [child.name for child in root.children[0].children] == ["a1"]
+
+    def test_children_sorted_by_start(self, tmp_path):
+        root = TraceContext.new_trace()
+        writer = SpanWriter(str(tmp_path), label="t")
+        writer.emit("root", root, 0.0, 10.0)
+        writer.emit("late", root.child(), 5.0, 6.0)
+        writer.emit("early", root.child(), 1.0, 2.0)
+        writer.close()
+        (tree,) = stitch_trace(read_spans(str(tmp_path)))
+        assert [child.name for child in tree.children] == ["early", "late"]
+
+    def test_orphan_parents_become_roots(self, tmp_path):
+        """A trace whose entry point never emitted a root span still stitches."""
+        root = TraceContext.new_trace()
+        writer = SpanWriter(str(tmp_path), label="t")
+        writer.emit("only-child", root.child(), 1.0, 2.0)
+        writer.close()
+        (tree,) = stitch_trace(read_spans(str(tmp_path)))
+        assert tree.name == "only-child"
+        assert tree.parent_id == root.trace_id
+
+    def test_multiple_traces_require_explicit_id(self, tmp_path):
+        writer = SpanWriter(str(tmp_path), label="t")
+        first, second = TraceContext.new_trace(), TraceContext.new_trace()
+        writer.emit("x", first, 0.0, 1.0)
+        writer.emit("y", second, 0.0, 1.0)
+        writer.close()
+        spans = read_spans(str(tmp_path))
+        assert trace_ids(spans) == [first.trace_id, second.trace_id]
+        with pytest.raises(ValueError, match="2 traces"):
+            stitch_trace(spans)
+        (only,) = stitch_trace(spans, second.trace_id)
+        assert only.name == "y"
+
+    def test_self_time_excludes_children(self, tmp_path):
+        root_ctx = self._emit_tree(tmp_path)
+        (root,) = stitch_trace(read_spans(str(tmp_path)), root_ctx.trace_id)
+        # root spans 0-10 with children a (1-5) and b (6-9): 3s of self time.
+        assert root.duration == pytest.approx(10.0)
+        assert root.self_time() == pytest.approx(3.0)
+
+
+class TestCollapsedStacks:
+    def test_folded_paths_and_self_time_micros(self, tmp_path):
+        root = TraceContext.new_trace()
+        a = root.child()
+        writer = SpanWriter(str(tmp_path), label="t")
+        writer.emit("root", root, 0.0, 10.0)
+        writer.emit("a", a, 1.0, 5.0)
+        writer.emit("a1", a.child(), 2.0, 3.0)
+        writer.close()
+        roots = stitch_trace(read_spans(str(tmp_path)))
+        stacks = collapsed_stacks(roots)
+        assert stacks == {
+            "root": 6_000_000,
+            "root;a": 3_000_000,
+            "root;a;a1": 1_000_000,
+        }
+
+    def test_write_collapsed_format(self, tmp_path):
+        root = TraceContext.new_trace()
+        writer = SpanWriter(str(tmp_path), label="t")
+        writer.emit("work", root, 0.0, 1.0)
+        writer.close()
+        out = tmp_path / "folded.txt"
+        written = write_collapsed(stitch_trace(read_spans(str(tmp_path))), str(out))
+        assert written == 1
+        stack, micros = out.read_text().strip().rsplit(" ", 1)
+        assert stack == "work"
+        assert int(micros) == 1_000_000
+
+    def test_semicolons_in_names_sanitized(self, tmp_path):
+        root = TraceContext.new_trace()
+        writer = SpanWriter(str(tmp_path), label="t")
+        writer.emit("a;b", root, 0.0, 1.0)
+        writer.close()
+        stacks = collapsed_stacks(stitch_trace(read_spans(str(tmp_path))))
+        assert list(stacks) == ["a,b"]
