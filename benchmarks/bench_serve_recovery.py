@@ -1,0 +1,201 @@
+"""Serve recovery — lease-expiry detection latency and retry overhead.
+
+Exercises the fault-tolerant execution plane end to end, in process (no
+HTTP): a worker claims a job, dies mid-run (``step_bomb`` raising
+``KeyboardInterrupt``, the worker-kill shape), and the reaper must notice
+the expired lease, re-queue the job, and let the retry resume from the
+last checkpoint to a bit-identical result.
+
+Two measurements per lease TTL:
+
+* **detect_seconds** — wall clock from the kill to the reaper re-queuing
+  the job.  Dominated by the TTL itself (the reaper cannot distinguish a
+  dead worker from a slow one any sooner), so the curve is the honest
+  cost of the chosen TTL: shorter TTLs recover faster but tolerate less
+  heartbeat jitter.
+* **recovered_seconds** vs **clean_seconds** — the end-to-end wall of a
+  killed-then-recovered job against an identical uninterrupted one; the
+  difference is the full price of a crash (detection + re-queue + resume
+  from checkpoint instead of recompute).
+
+``--cycles N`` turns the run into a soak: N kill-and-reap cycles against
+one live service instance, every recovered result asserted byte-identical
+to a direct run.  CI's ``serve-chaos`` job runs this under a timeout and
+uploads the BENCH json as an artifact.
+
+Usage::
+
+    python benchmarks/bench_serve_recovery.py             # full TTL sweep
+    python benchmarks/bench_serve_recovery.py --quick     # CI-sized
+    python benchmarks/bench_serve_recovery.py --cycles 10 # soak
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import benchlib
+
+from repro.circuit.library import load
+from repro.concurrent.engine import ConcurrentFaultSimulator
+from repro.harness.runner import run_stuck_at
+from repro.patterns.random_gen import random_sequence
+from repro.robust.chaos import step_bomb
+from repro.serve import FaultSimService, ServeConfig, serialize_result
+
+PATTERNS = 60
+KILL_AFTER = 20
+CHECKPOINT_EVERY = 8
+
+
+def make_service(state_dir: str, lease_ttl: float) -> FaultSimService:
+    return FaultSimService(
+        ServeConfig(
+            state_dir=state_dir,
+            workers=0,
+            checkpoint_every=CHECKPOINT_EVERY,
+            cache_results=False,  # every job must actually simulate
+            lease_ttl=lease_ttl,
+            retry_jitter=0.0,
+        )
+    )
+
+
+def expected_blob(seed: int) -> bytes:
+    circuit = load("s27")
+    result = run_stuck_at(
+        circuit, random_sequence(circuit, PATTERNS, seed=seed), "csim-MV"
+    )
+    return serialize_result(result, circuit)
+
+
+def kill_and_recover(service: FaultSimService, seed: int) -> tuple:
+    """One kill-and-reap cycle; returns (detect_seconds, total_seconds, record)."""
+    started = time.perf_counter()
+    record, _ = service.submit(
+        {"circuit": "s27", "random_patterns": PATTERNS, "seed": seed}
+    )
+    with step_bomb(ConcurrentFaultSimulator, after_steps=KILL_AFTER):
+        try:
+            service.process_once()
+        except KeyboardInterrupt:
+            pass
+    killed_at = time.perf_counter()
+    while service.status(record.job_id).state != "queued":
+        service.reap()
+        time.sleep(0.002)
+    detect = time.perf_counter() - killed_at
+    finished_jobs = service.drain()
+    assert finished_jobs == 1, f"drain finished {finished_jobs} jobs, wanted 1"
+    total = time.perf_counter() - started
+    finished = service.status(record.job_id)
+    assert finished.state == "done", finished.error
+    assert finished.attempts == 2
+    assert finished.resumed_from_cycle > 0, "retry recomputed instead of resuming"
+    return detect, total, finished
+
+
+def clean_run(service: FaultSimService, seed: int) -> float:
+    started = time.perf_counter()
+    record, _ = service.submit(
+        {"circuit": "s27", "random_patterns": PATTERNS, "seed": seed}
+    )
+    assert service.drain() == 1
+    assert service.status(record.job_id).state == "done"
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized sweep")
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=3,
+        metavar="N",
+        help="kill-and-reap cycles per lease TTL (default 3)",
+    )
+    parser.add_argument("--out", metavar="PATH", help="output path for the json")
+    args = parser.parse_args()
+
+    ttls = (0.05, 0.1) if args.quick else (0.05, 0.1, 0.25, 0.5, 1.0)
+    cycles = max(1, args.cycles)
+    samples = []
+    curve = []
+    seed = 0
+    for ttl in ttls:
+        state_dir = tempfile.mkdtemp(prefix="repro-bench-recovery-")
+        try:
+            service = make_service(state_dir, ttl)
+            detects = []
+            totals = []
+            cleans = []
+            for _ in range(cycles):
+                seed += 1
+                detect, total, finished = kill_and_recover(service, seed)
+                blob = service.result_bytes(finished.job_id)
+                assert blob == expected_blob(seed), (
+                    f"ttl={ttl} seed={seed}: recovered result is not "
+                    "bit-identical to the direct run"
+                )
+                detects.append(detect)
+                totals.append(total)
+                samples.append(
+                    {
+                        "label": f"recover[ttl={ttl:g},seed={seed}]",
+                        "seconds": round(total, 6),
+                        "detect_seconds": round(detect, 6),
+                        "resumed_from_cycle": finished.resumed_from_cycle,
+                    }
+                )
+                seed += 1
+                cleans.append(clean_run(service, seed))
+            point = {
+                "lease_ttl": ttl,
+                "cycles": cycles,
+                "detect_p50_seconds": round(benchlib.percentile(detects, 0.5), 6),
+                "recovered_p50_seconds": round(benchlib.percentile(totals, 0.5), 6),
+                "clean_p50_seconds": round(benchlib.percentile(cleans, 0.5), 6),
+                "retry_overhead_seconds": round(
+                    benchlib.percentile(totals, 0.5)
+                    - benchlib.percentile(cleans, 0.5),
+                    6,
+                ),
+            }
+            curve.append(point)
+            print(
+                f"# ttl={ttl:g}s: detect p50 {point['detect_p50_seconds']}s, "
+                f"recovered {point['recovered_p50_seconds']}s vs clean "
+                f"{point['clean_p50_seconds']}s "
+                f"(overhead {point['retry_overhead_seconds']}s)"
+            )
+        finally:
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+    path = benchlib.write_bench_json(
+        "serve_recovery",
+        config={
+            "circuit": "s27",
+            "patterns": PATTERNS,
+            "kill_after_cycles": KILL_AFTER,
+            "checkpoint_every": CHECKPOINT_EVERY,
+            "cycles_per_ttl": cycles,
+            "quick": args.quick,
+        },
+        samples=samples,
+        detail={"recovery_vs_lease_ttl": curve},
+        out=args.out,
+    )
+    print(f"# wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -504,8 +504,16 @@ def cmd_generate_tests(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Boot the fault-simulation service and serve until interrupted."""
+    """Boot the fault-simulation service and serve until interrupted.
+
+    SIGTERM triggers a graceful drain: submissions answer 503 +
+    Retry-After, ``/healthz`` reports ``draining``, in-flight batches
+    finish (or checkpoint), and the process exits once the worker pool
+    retires or the drain grace expires — whichever comes first.
+    """
+    import signal
     import tempfile
+    import threading
 
     from repro.serve import FaultSimService, ServeConfig, make_server
     from repro.serve.api import ServeHandler
@@ -520,15 +528,37 @@ def cmd_serve(args) -> int:
         max_seconds_per_job=args.max_seconds_per_job,
         cache_results=not args.no_cache,
         trace_dir=args.trace_dir,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        retry_backoff_base=args.retry_backoff,
     )
     service = FaultSimService(config)
     recovered = service.recover()
     if recovered:
         print(f"# recovered {recovered} unfinished job(s)", file=sys.stderr)
+    if args.requeue_dead:
+        resurrected = service.requeue_dead()
+        if resurrected:
+            print(
+                f"# resurrected {resurrected} dead-lettered job(s)", file=sys.stderr
+            )
     service.start()
     server = make_server(service, host=args.host, port=args.port)
     if args.verbose:
         ServeHandler.verbose = True
+
+    def _drain_then_shutdown() -> None:
+        service.begin_drain()
+        service.await_drained(timeout=args.drain_grace)
+        server.shutdown()
+
+    def _on_sigterm(signum, frame) -> None:
+        print("# SIGTERM: draining", file=sys.stderr)
+        threading.Thread(
+            target=_drain_then_shutdown, name="serve-drain", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     host, port = server.server_address[:2]
     print(f"# repro serve: http://{host}:{port} "
           f"({config.workers} worker(s), state in {state_dir})", file=sys.stderr)
@@ -799,6 +829,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="record a span trace of every job here "
         "(render with `repro inspect DIR`)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds a claimed job may miss heartbeats before the reaper "
+        "re-queues it (default 30)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="execution attempts per job before dead-lettering (default 3)",
+    )
+    serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="base of the exponential retry backoff in seconds (default 0.25)",
+    )
+    serve.add_argument(
+        "--requeue-dead",
+        action="store_true",
+        help="resurrect every dead-lettered job at startup",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds SIGTERM waits for in-flight batches before exiting "
+        "(default 30)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"

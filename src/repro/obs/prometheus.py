@@ -115,6 +115,11 @@ def render_prometheus(snapshot: Mapping[str, object]) -> str:
     if "uptime_seconds" in snapshot:
         out.family("repro_uptime_seconds", "gauge", "Seconds since service start.")
         out.sample("repro_uptime_seconds", snapshot["uptime_seconds"])
+    if "draining" in snapshot:
+        out.family(
+            "repro_draining", "gauge", "1 while the service drains for shutdown."
+        )
+        out.sample("repro_draining", snapshot["draining"])
 
     jobs = snapshot.get("jobs")
     if isinstance(jobs, Mapping):
@@ -128,6 +133,74 @@ def render_prometheus(snapshot: Mapping[str, object]) -> str:
         out.sample("repro_queue_depth", queue.get("depth", 0))
         out.family("repro_queue_capacity", "gauge", "Queue bound (429 beyond).")
         out.sample("repro_queue_capacity", queue.get("capacity", 0))
+        out.family(
+            "repro_queue_saturation", "gauge", "Queue depth / capacity [0, 1]."
+        )
+        out.sample("repro_queue_saturation", queue.get("saturation", 0.0))
+
+    resilience = snapshot.get("resilience")
+    if isinstance(resilience, Mapping):
+        out.family(
+            "repro_retries_total",
+            "counter",
+            "Transient-failure and expired-lease re-queues.",
+        )
+        out.sample("repro_retries_total", resilience.get("retries", 0))
+        out.family(
+            "repro_dead_lettered_total",
+            "counter",
+            "Jobs dead-lettered after exhausting their attempt budget.",
+        )
+        out.sample("repro_dead_lettered_total", resilience.get("dead_lettered", 0))
+        out.family(
+            "repro_resurrected_total",
+            "counter",
+            "Dead or failed jobs explicitly re-queued.",
+        )
+        out.sample("repro_resurrected_total", resilience.get("resurrected", 0))
+        out.family(
+            "repro_lease_events_total",
+            "counter",
+            "Lease lifecycle events (expired, renewed, lost).",
+        )
+        out.sample(
+            "repro_lease_events_total",
+            resilience.get("lease_expirations", 0),
+            {"event": "expired"},
+        )
+        out.sample(
+            "repro_lease_events_total",
+            resilience.get("lease_renewals", 0),
+            {"event": "renewed"},
+        )
+        out.sample(
+            "repro_lease_events_total",
+            resilience.get("lease_losses", 0),
+            {"event": "lost"},
+        )
+        out.family("repro_reaper_runs_total", "counter", "Reaper sweeps completed.")
+        out.sample("repro_reaper_runs_total", resilience.get("reaper_runs", 0))
+        out.family(
+            "repro_reaper_last_run_seconds",
+            "gauge",
+            "Unix time of the last reaper sweep (0 until the first).",
+        )
+        out.sample(
+            "repro_reaper_last_run_seconds", resilience.get("reaper_last_run", 0.0)
+        )
+
+    leases = snapshot.get("leases")
+    if isinstance(leases, Mapping):
+        out.family("repro_leases_active", "gauge", "Jobs currently holding a lease.")
+        out.sample("repro_leases_active", leases.get("active", 0))
+        out.family(
+            "repro_lease_oldest_age_seconds",
+            "gauge",
+            "Age of the stalest lease since its last grant or renewal.",
+        )
+        out.sample(
+            "repro_lease_oldest_age_seconds", leases.get("oldest_age_seconds", 0.0)
+        )
 
     cache = snapshot.get("cache")
     if isinstance(cache, Mapping):

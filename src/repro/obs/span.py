@@ -137,6 +137,17 @@ class SpanWriter:
         """Context manager: a child span under *parent*, emitted on exit."""
         return _SpanScope(SpanHandle(self, name, parent.child()))
 
+    def event(self, name: str, parent: TraceContext, **attrs: object) -> None:
+        """An instantaneous marker span (start == end) under *parent*.
+
+        The serving layer uses these for execution-plane incidents —
+        lease grants and expirations, retry scheduling, dead-lettering,
+        reaper sweeps — which have no meaningful duration of their own
+        but belong on the job's trace timeline.
+        """
+        now = time.time()
+        self.emit(name, parent.child(), now, now, **attrs)
+
     def close(self) -> None:
         with self._lock:
             if self._handle is not None:

@@ -59,6 +59,35 @@ class Budget:
         """Arm the budget against the current wall clock."""
         return BudgetClock(self, time.perf_counter())
 
+    def tightened(
+        self,
+        max_wall_seconds: Optional[float] = None,
+        max_cycles: Optional[int] = None,
+        max_memory_bytes: Optional[int] = None,
+    ) -> "Budget":
+        """This budget with each given axis tightened to the smaller limit.
+
+        Composes independent caps — a service-wide per-job wall cap and a
+        per-submit deadline budget, say — without either silently widening
+        the other: ``None`` arguments leave an axis unchanged, and on each
+        axis the stricter limit wins.
+        """
+
+        def _min(a: Optional[float], b: Optional[float]) -> Optional[float]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return Budget(
+            max_wall_seconds=_min(self.max_wall_seconds, max_wall_seconds),
+            max_cycles=_min(self.max_cycles, max_cycles),  # type: ignore[arg-type]
+            max_memory_bytes=_min(  # type: ignore[arg-type]
+                self.max_memory_bytes, max_memory_bytes
+            ),
+        )
+
 
 class BudgetClock:
     """An armed budget: call :meth:`check` at every cycle boundary."""

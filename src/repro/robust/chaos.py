@@ -298,22 +298,30 @@ def step_bomb(
     simulator_class: type,
     after_steps: int,
     exception: Type[BaseException] = KeyboardInterrupt,
+    hang_seconds: float = 0.0,
 ) -> Iterator[dict]:
     """Patch ``simulator_class.step`` to raise after *after_steps* calls.
 
     Models a worker killed mid-job: the default ``KeyboardInterrupt`` is
     what a SIGINT/SIGKILL-shaped death looks like from inside, so the
     resilient runners convert it to ``CampaignInterrupted`` and the last
-    periodic checkpoint on disk remains the resume point.  Yields a
+    periodic checkpoint on disk remains the resume point.  A nonzero
+    ``hang_seconds`` sleeps that long *before* raising — the shape of a
+    hung (not merely dead) worker: heartbeats stop while the thread is
+    still alive, so only lease expiry can reclaim the job.  Yields a
     mutable counter dict (``{"calls": N}``) so tests can assert how far
     the victim got; the patch is always removed on exit.
     """
+    import time as _time
+
     real_step = simulator_class.step
     state = {"calls": 0}
 
     def bombed_step(self, vector):
         state["calls"] += 1
         if state["calls"] > after_steps:
+            if hang_seconds > 0.0:
+                _time.sleep(hang_seconds)
             raise exception()
         return real_step(self, vector)
 

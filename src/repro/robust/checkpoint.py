@@ -18,6 +18,7 @@ when both describe the same campaign.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import os
 import pickle
@@ -104,6 +105,27 @@ def write_checkpoint(path: str, checkpoint: Checkpoint) -> None:
         except OSError:
             pass
         raise
+
+
+def latest_checkpoint_mtime(path: str) -> Optional[float]:
+    """The newest mtime among *path* and its per-shard siblings, or None.
+
+    A checkpoint write is a liveness signal: the serving layer's reaper
+    uses it as an implicit heartbeat for shard *processes*, which cannot
+    renew a lease in the parent's memory — a worker whose checkpoints
+    keep advancing is alive even if its lease record looks stale.
+    Per-shard files follow the parallel runner's ``<path>.shard<K>``
+    naming.
+    """
+    newest: Optional[float] = None
+    for candidate in [path] + glob.glob(glob.escape(path) + ".shard*"):
+        try:
+            mtime = os.path.getmtime(candidate)
+        except OSError:
+            continue
+        if newest is None or mtime > newest:
+            newest = mtime
+    return newest
 
 
 def read_checkpoint(path: str, expect_fingerprint: Optional[str] = None) -> Checkpoint:

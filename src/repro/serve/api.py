@@ -7,13 +7,19 @@ method    path                    behaviour
 ========  ======================  =============================================
 POST      ``/jobs``               submit a job spec; ``201`` created, ``200``
                                   when an idempotency key matched, ``400`` bad
-                                  spec, ``429`` + ``Retry-After`` queue full
+                                  spec, ``429`` + ``Retry-After`` queue full,
+                                  ``503`` + ``Retry-After`` while draining
 GET       ``/jobs``               list job summaries
 GET       ``/jobs/<id>``          job status
 GET       ``/jobs/<id>/result``   canonical result document; ``409`` until the
                                   job reaches ``done``
-POST      ``/jobs/<id>/cancel``   cancel a *queued* job; ``409`` otherwise
-GET       ``/healthz``            liveness + worker/queue gauges + uptime
+POST      ``/jobs/<id>/cancel``   cancel a *queued* job; ``409`` otherwise,
+                                  ``410`` if the record vanished mid-cancel
+POST      ``/jobs/<id>/retry``    resurrect a ``dead`` or ``failed`` job with
+                                  a fresh attempt budget; ``409`` otherwise
+GET       ``/healthz``            liveness + worker/queue/reaper gauges +
+                                  uptime; ``status`` flips to ``draining``
+                                  after SIGTERM
 GET       ``/metrics``            :meth:`ServiceMetrics.snapshot` document;
                                   with ``Accept: text/plain`` the same metrics
                                   in Prometheus text exposition format
@@ -33,12 +39,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.serve.queue import QueueFull
-from repro.serve.service import FaultSimService
+from repro.serve.service import FaultSimService, ServiceDraining
 from repro.serve.spec import SpecError
 
 _JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
 _RESULT_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/result$")
 _CANCEL_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/cancel$")
+_RETRY_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/retry$")
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -140,6 +147,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         if match:
             self._cancel(match.group(1))
             return
+        match = _RETRY_PATH.match(path)
+        if match:
+            self._retry(match.group(1))
+            return
         self._error(404, f"no route {path!r}")
 
     # -- handlers -------------------------------------------------------
@@ -179,6 +190,9 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         except QueueFull as exc:
             self._error(429, str(exc), retry_after=1)
+            return
+        except ServiceDraining as exc:
+            self._error(503, str(exc), retry_after=5)
             return
         self._emit_api_span(record, api_started)
         self._send(201 if created else 200, record.public_dict())
@@ -221,11 +235,34 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._error(404, f"no job {job_id!r}")
             return
         if self.service.cancel(job_id):
+            # The record can vanish between cancel and re-read (a racing
+            # submit rollback deletes refused records): answer 410, not a
+            # 500 from a tripped assertion.
             refreshed = self.service.status(job_id)
-            assert refreshed is not None
+            if refreshed is None:
+                self._error(410, f"job {job_id!r} was cancelled and removed")
+                return
             self._send(200, refreshed.public_dict())
         else:
             self._error(409, f"job {job_id!r} is {record.state}; cannot cancel")
+
+    def _retry(self, job_id: str) -> None:
+        record = self.service.status(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        if not self.service.retry_job(job_id):
+            self._error(
+                409,
+                f"job {job_id!r} is {record.state}; only dead or failed "
+                "jobs can be retried",
+            )
+            return
+        refreshed = self.service.status(job_id)
+        if refreshed is None:
+            self._error(410, f"job {job_id!r} vanished during retry")
+            return
+        self._send(200, refreshed.public_dict())
 
 
 def make_server(

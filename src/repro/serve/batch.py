@@ -36,7 +36,9 @@ class Batcher:
     def take(self, queue: JobQueue, head_id: str) -> List[JobRecord]:
         """The batch led by *head_id*: the head plus matching queue-mates."""
         head = self.store.get(head_id)
-        if head is None:  # record vanished; nothing to run
+        if head is None or head.state != "queued":
+            # Vanished, cancelled, or a double-enqueued id whose first pop
+            # already ran it; nothing to run.
             return []
         batch = [head]
         if self.max_batch == 1:

@@ -102,6 +102,14 @@ class ServiceMetrics:
         self.jobs_cancelled = 0
         self.jobs_rejected = 0
         self.jobs_simulated = 0
+        self.jobs_retried = 0
+        self.jobs_dead_lettered = 0
+        self.jobs_resurrected = 0
+        self.lease_expirations = 0
+        self.lease_renewals = 0
+        self.lease_losses = 0
+        self.reaper_runs = 0
+        self.reaper_last_run = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
         self.batches = 0
@@ -155,13 +163,52 @@ class ServiceMetrics:
         with self._lock:
             self.jobs_failed += 1
 
+    def retried(self) -> None:
+        """A transient failure (or expired lease) was re-queued."""
+        with self._lock:
+            self.jobs_retried += 1
+
+    def dead_lettered(self) -> None:
+        """A job exhausted its retry budget and entered ``dead``."""
+        with self._lock:
+            self.jobs_dead_lettered += 1
+
+    def resurrected(self) -> None:
+        """A dead or failed job was explicitly re-queued."""
+        with self._lock:
+            self.jobs_resurrected += 1
+
+    def lease_expired(self) -> None:
+        with self._lock:
+            self.lease_expirations += 1
+
+    def lease_renewed(self) -> None:
+        with self._lock:
+            self.lease_renewals += 1
+
+    def lease_lost(self) -> None:
+        """A worker finished a job whose lease it no longer owned."""
+        with self._lock:
+            self.lease_losses += 1
+
+    def reaper_ran(self, at: float) -> None:
+        with self._lock:
+            self.reaper_runs += 1
+            self.reaper_last_run = at
+
     def phase(self, name: str, seconds: float) -> None:
         with self._lock:
             self.phase_latency[name].observe(seconds)
 
     # -- reporting ------------------------------------------------------
 
-    def snapshot(self, queue_depth: int, queue_capacity: int) -> dict:
+    def snapshot(
+        self,
+        queue_depth: int,
+        queue_capacity: int,
+        leases: Optional[dict] = None,
+        draining: bool = False,
+    ) -> dict:
         with self._lock:
             lookups = self.cache_hits + self.cache_misses
             sizes: List[int] = []
@@ -171,6 +218,7 @@ class ServiceMetrics:
                 "version": service_version(),
                 "started_at": self.started_at,
                 "uptime_seconds": time.time() - self.started_at,
+                "draining": draining,
                 "jobs": {
                     "submitted": self.jobs_submitted,
                     "completed": self.jobs_completed,
@@ -178,8 +226,30 @@ class ServiceMetrics:
                     "failed": self.jobs_failed,
                     "cancelled": self.jobs_cancelled,
                     "rejected": self.jobs_rejected,
+                    "retried": self.jobs_retried,
+                    "dead_lettered": self.jobs_dead_lettered,
+                    "resurrected": self.jobs_resurrected,
                 },
-                "queue": {"depth": queue_depth, "capacity": queue_capacity},
+                "queue": {
+                    "depth": queue_depth,
+                    "capacity": queue_capacity,
+                    "saturation": (
+                        queue_depth / queue_capacity if queue_capacity else 0.0
+                    ),
+                },
+                "resilience": {
+                    "retries": self.jobs_retried,
+                    "dead_lettered": self.jobs_dead_lettered,
+                    "resurrected": self.jobs_resurrected,
+                    "lease_expirations": self.lease_expirations,
+                    "lease_renewals": self.lease_renewals,
+                    "lease_losses": self.lease_losses,
+                    "reaper_runs": self.reaper_runs,
+                    "reaper_last_run": self.reaper_last_run,
+                },
+                "leases": dict(leases)
+                if leases is not None
+                else {"active": 0, "oldest_age_seconds": 0.0},
                 "cache": {
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,

@@ -88,6 +88,20 @@ class JobQueue:
                 return True
         return False
 
+    def contains(self, job_id: str) -> bool:
+        """Whether *job_id* is live in the queue (cancelled marks excluded).
+
+        The reaper uses this to spot ``queued`` records that are *not*
+        enqueued — stranded batch-mates of a killed worker, retries whose
+        backoff elapsed, spillover from a full queue during recovery —
+        and push them back.
+        """
+        with self._lock:
+            return any(
+                entry_id == job_id and entry_id not in self._cancelled
+                for _, _, entry_id in self._heap
+            )
+
     def depth(self) -> int:
         with self._lock:
             return self._live_depth()

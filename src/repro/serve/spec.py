@@ -83,6 +83,8 @@ _KNOWN_KEYS = frozenset(
         "shard_strategy",
         "priority",
         "idempotency_key",
+        "deadline_seconds",
+        "max_attempts",
     }
 )
 
@@ -113,6 +115,12 @@ class JobSpec:
     shard_strategy: str = "round-robin"
     priority: int = 0
     idempotency_key: Optional[str] = None
+    #: Wall-clock budget from submission; past it the job finishes with
+    #: the truncated-result contract.  A scheduling knob, not part of the
+    #: cache identity (truncated results are never cached anyway).
+    deadline_seconds: Optional[float] = None
+    #: Per-job override of the service-wide transient-retry cap.
+    max_attempts: Optional[int] = None
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "JobSpec":
@@ -147,6 +155,16 @@ class JobSpec:
             max_cycles = _opt_int(payload, "max_cycles")
             if max_cycles < 1:
                 raise SpecError("'max_cycles' must be >= 1")
+        deadline_seconds: Optional[float] = None
+        if payload.get("deadline_seconds") is not None:
+            deadline_seconds = _opt_float(payload, "deadline_seconds", 0.0)
+            if deadline_seconds < 0:
+                raise SpecError("'deadline_seconds' must be >= 0")
+        max_attempts: Optional[int] = None
+        if payload.get("max_attempts") is not None:
+            max_attempts = _opt_int(payload, "max_attempts")
+            if max_attempts < 1:
+                raise SpecError("'max_attempts' must be >= 1")
         return cls(
             circuit=circuit,
             scale=_opt_float(payload, "scale", 1.0),
@@ -162,6 +180,8 @@ class JobSpec:
             shard_strategy=strategy,
             priority=_opt_int(payload, "priority", 0),
             idempotency_key=_opt_str(payload, "idempotency_key"),
+            deadline_seconds=deadline_seconds,
+            max_attempts=max_attempts,
         )
 
     def to_payload(self) -> dict:
@@ -188,6 +208,10 @@ class JobSpec:
             payload["max_cycles"] = self.max_cycles
         if self.idempotency_key is not None:
             payload["idempotency_key"] = self.idempotency_key
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = self.deadline_seconds
+        if self.max_attempts is not None:
+            payload["max_attempts"] = self.max_attempts
         return payload
 
     def circuit_source(self) -> Tuple[object, ...]:

@@ -2,7 +2,9 @@
 
 A :class:`JobRecord` is the durable state machine of one submission
 (``queued -> running -> done | failed``, with ``cancelled`` reachable from
-``queued``).  Every transition is flushed to
+``queued``, ``queued`` reachable again from ``running`` on a transient
+failure or an expired lease, and ``dead`` — the dead-letter state — once
+the retry budget is exhausted).  Every transition is flushed to
 ``<state_dir>/jobs/<job_id>.json`` via the same temp-file + ``os.replace``
 pattern the checkpoint layer uses, so a killed service process leaves
 every record either in its previous state or its next one — never torn.
@@ -28,10 +30,28 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: The legal job states, in lifecycle order.
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "dead")
 
-#: States a job never leaves.
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+#: States a job never leaves on its own.  ``dead`` and ``failed`` can be
+#: resurrected explicitly (``POST /jobs/<id>/retry``, ``--requeue-dead``)
+#: but no automatic path ever takes a job out of them.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "dead"})
+
+#: Longest error message retained on a record; the tail is elided so a
+#: retry storm cannot bloat the per-job JSON rewritten on every transition.
+ERROR_MAX_CHARS = 512
+
+#: Per-attempt error-history entries retained (oldest dropped first;
+#: ``error_history_dropped`` counts the elided ones).
+ERROR_HISTORY_LIMIT = 8
+
+
+def clip_error(message: str) -> str:
+    """*message* bounded to :data:`ERROR_MAX_CHARS` with an elision mark."""
+    if len(message) <= ERROR_MAX_CHARS:
+        return message
+    suffix = f"... [{len(message)} chars]"
+    return message[: ERROR_MAX_CHARS - len(suffix)] + suffix
 
 
 @dataclass
@@ -56,7 +76,23 @@ class JobRecord:
     batch_size: int = 0
     #: Cycle the last attempt resumed from (0 for a fresh start).
     resumed_from_cycle: int = 0
+    #: Lease: who claimed this job and until when the claim holds.  A
+    #: ``running`` (or batch-claimed ``queued``) job whose lease expires
+    #: belongs to a dead or hung worker and is re-queued by the reaper.
+    lease_owner: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    #: Earliest wall-clock time the next retry attempt may start
+    #: (exponential backoff; ``None`` = eligible immediately).
+    next_retry_at: Optional[float] = None
+    #: Absolute wall-clock deadline; execution beyond it produces the
+    #: truncated-result contract instead of running on.
+    deadline_at: Optional[float] = None
+    #: Most recent error, clipped to :data:`ERROR_MAX_CHARS`.
     error: Optional[str] = None
+    #: Per-attempt error history (bounded; see :meth:`note_error`).
+    error_history: List[dict] = field(default_factory=list)
+    #: History entries elided by the :data:`ERROR_HISTORY_LIMIT` bound.
+    error_history_dropped: int = 0
     #: Human-readable one-liner of the finished result.
     summary: Optional[str] = None
     #: Span-trace id of this job (set when the service traces; the trace's
@@ -67,6 +103,37 @@ class JobRecord:
     def public_dict(self) -> dict:
         """The JSON shape the API returns for status queries."""
         return asdict(self)
+
+    def note_error(self, message: str, kind: str) -> None:
+        """Record one failed attempt (*kind*: transient/permanent/lease).
+
+        ``error`` holds the clipped latest message; ``error_history``
+        keeps one bounded entry per attempt so a dead-lettered job
+        carries how it died every time, without letting a retry storm
+        grow the record without bound.
+        """
+        clipped = clip_error(message)
+        self.error = clipped
+        self.error_history.append(
+            {
+                "attempt": self.attempts,
+                "at": time.time(),
+                "kind": kind,
+                "error": clipped,
+            }
+        )
+        overflow = len(self.error_history) - ERROR_HISTORY_LIMIT
+        if overflow > 0:
+            del self.error_history[:overflow]
+            self.error_history_dropped += overflow
+
+    def lease_is_expired(self, now: float) -> bool:
+        """Whether this record holds a lease that has lapsed."""
+        return self.lease_expires_at is not None and self.lease_expires_at < now
+
+    def clear_lease(self) -> None:
+        self.lease_owner = None
+        self.lease_expires_at = None
 
 
 class JobStore:

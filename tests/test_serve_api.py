@@ -261,3 +261,65 @@ class TestIntrospection:
             assert section in metrics
         assert metrics["latency"]["simulate"]["count"] == 1
         assert metrics["counters"]["cycles"] > 0
+        assert "resilience" in metrics
+        assert "leases" in metrics
+        assert metrics["queue"]["saturation"] == 0.0
+
+
+class TestResiliencePlane:
+    def test_retry_endpoint_resurrects_dead_job(self, backlogged):
+        from repro.concurrent.engine import ConcurrentFaultSimulator
+        from repro.robust.chaos import step_bomb
+
+        service, client = backlogged
+        status, record = client.post_json("/jobs", {**JOB, "max_attempts": 1})
+        assert status == 201
+        with step_bomb(ConcurrentFaultSimulator, after_steps=0, exception=OSError):
+            service.drain()
+        status, dead = client.get_json(f"/jobs/{record['job_id']}")
+        assert dead["state"] == "dead"
+        assert dead["error_history"]
+
+        status, reborn = client.post_json(f"/jobs/{record['job_id']}/retry")
+        assert status == 200
+        assert reborn["state"] == "queued"
+        assert reborn["attempts"] == 0
+        service.drain()
+        status, _, _ = client.get(f"/jobs/{record['job_id']}/result")
+        assert status == 200
+
+    def test_retry_endpoint_refuses_live_jobs(self, backlogged):
+        _, client = backlogged
+        status, record = client.post_json("/jobs", dict(JOB))
+        status, document = client.post_json(f"/jobs/{record['job_id']}/retry")
+        assert status == 409
+        assert "queued" in document["error"]
+        status, _ = client.post_json("/jobs/job-999999/retry")
+        assert status == 404
+
+    def test_draining_submit_gets_503_with_retry_after(self, backlogged):
+        service, client = backlogged
+        service.begin_drain()
+        status, headers, body = client.post("/jobs", dict(JOB))
+        assert status == 503
+        assert "Retry-After" in headers
+        assert "draining" in json.loads(body)["error"]
+        status, health = client.get_json("/healthz")
+        assert health["status"] == "draining"
+        assert health["draining"] is True
+
+    def test_cancel_race_gets_410_not_500(self, backlogged, monkeypatch):
+        """A record deleted between cancel and re-read answers 410."""
+        service, client = backlogged
+        status, record = client.post_json("/jobs", dict(JOB))
+        original = service.cancel
+
+        def cancel_then_vanish(job_id):
+            outcome = original(job_id)
+            service.store.delete(job_id)
+            return outcome
+
+        monkeypatch.setattr(service, "cancel", cancel_then_vanish)
+        status, document = client.post_json(f"/jobs/{record['job_id']}/cancel")
+        assert status == 410
+        assert "removed" in document["error"]
