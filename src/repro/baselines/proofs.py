@@ -38,6 +38,7 @@ from repro.logic.values import ONE, X, ZERO, is_binary
 from repro.obs.tracer import Tracer
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
 from repro.sim.logicsim import LogicSimulator
+from repro.vector.packing import broadcast_word, evaluate_gate_word
 
 
 class ProofsSimulator:
@@ -224,21 +225,17 @@ class ProofsSimulator:
         mask = (1 << width) - 1
         trace = self.tracer
 
-        # Signal words, lazily materialized from the good broadcast.
+        # Signal words, lazily materialized from the good broadcast.  The
+        # encoding and gate algebra live in repro.vector.packing, shared
+        # with the pattern-axis kernel (same functions, bit axis
+        # reinterpreted as one slot per cycle instead of per fault).
         ones: Dict[int, int] = {}
         xs: Dict[int, int] = {}
-
-        def broadcast(value: int) -> Tuple[int, int]:
-            if value == ONE:
-                return (mask, 0)
-            if value == ZERO:
-                return (0, 0)
-            return (0, mask)
 
         def get_word(index: int) -> Tuple[int, int]:
             word = ones.get(index)
             if word is None:
-                return broadcast(good_values[index])
+                return broadcast_word(good_values[index], mask)
             return (word, xs[index])
 
         def set_word(index: int, one_bits: int, x_bits: int) -> bool:
@@ -318,53 +315,11 @@ class ProofsSimulator:
 
         def evaluate_word(gate_index: int) -> Tuple[int, int]:
             gate = gates[gate_index]
-            gtype = gate.gtype
             operands = [
                 operand(gate_index, pin, source)
                 for pin, source in enumerate(gate.fanin)
             ]
-            if gtype in (GateType.AND, GateType.NAND):
-                all_one = mask
-                any_zero = 0
-                for one_bits, x_bits in operands:
-                    all_one &= one_bits
-                    any_zero |= mask & ~(one_bits | x_bits)
-                one_out = all_one
-                x_out = mask & ~any_zero & ~all_one
-                if gtype is GateType.NAND:
-                    one_out = any_zero  # NAND is 1 exactly where some input is 0
-            elif gtype in (GateType.OR, GateType.NOR):
-                any_one = 0
-                all_zero = mask
-                for one_bits, x_bits in operands:
-                    any_one |= one_bits
-                    all_zero &= mask & ~(one_bits | x_bits)
-                one_out = any_one
-                x_out = mask & ~any_one & ~all_zero
-                if gtype is GateType.NOR:
-                    one_out = all_zero
-            elif gtype in (GateType.XOR, GateType.XNOR):
-                x_out = 0
-                parity = 0
-                for one_bits, x_bits in operands:
-                    x_out |= x_bits
-                    parity ^= one_bits
-                parity &= mask & ~x_out
-                one_out = parity
-                if gtype is GateType.XNOR:
-                    one_out = mask & ~parity & ~x_out
-            elif gtype is GateType.BUF:
-                one_out, x_out = operands[0]
-            elif gtype is GateType.NOT:
-                one_bits, x_bits = operands[0]
-                one_out = mask & ~one_bits & ~x_bits
-                x_out = x_bits
-            elif gtype is GateType.CONST0:
-                one_out, x_out = 0, 0
-            elif gtype is GateType.CONST1:
-                one_out, x_out = mask, 0
-            else:  # pragma: no cover - MACRO rejected in __init__
-                raise AssertionError(f"unexpected gate type {gtype}")
+            one_out, x_out = evaluate_gate_word(gate.gtype, operands, mask)
             for bit, value in out_force.get(gate_index, ()):
                 one_out &= ~bit
                 x_out &= ~bit

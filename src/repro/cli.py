@@ -38,6 +38,7 @@ from repro.faults.universe import stuck_at_universe
 from repro.harness.reporting import format_table
 from repro.harness.runner import (
     ENGINE_NAMES,
+    WORD_ENGINES,
     engine_options,
     run_stuck_at,
     run_transition,
@@ -49,7 +50,9 @@ from repro.patterns.vectors import format_vectors, parse_vectors
 from repro.robust import (
     Budget,
     CampaignInterrupted,
+    DEFAULT_LADDER,
     TableCampaign,
+    VECTOR_LADDER,
     config_fingerprint,
     run_checkpointed,
     run_with_ladder,
@@ -215,6 +218,21 @@ def _check_robust_args(args) -> None:
         raise ValueError("--resume requires --checkpoint FILE")
 
 
+def _checked_word_width(args):
+    """Validate ``--word-width`` against the engine; None when unset."""
+    width = getattr(args, "word_width", None)
+    if width is None:
+        return None
+    from repro.vector.packing import validate_word_width
+
+    if args.engine not in WORD_ENGINES:
+        raise ValueError(
+            f"--word-width only applies to the word-packed engines "
+            f"{WORD_ENGINES}, not {args.engine!r}"
+        )
+    return validate_word_width(width)
+
+
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -333,6 +351,7 @@ def cmd_lint(args) -> int:
 def cmd_simulate(args) -> int:
     _check_robust_args(args)
     _check_parallel_args(args)
+    word_width = _checked_word_width(args)
     circuit = load(args.circuit, scale=args.scale)
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
@@ -354,8 +373,16 @@ def cmd_simulate(args) -> int:
     if args.ladder:
         if args.checkpoint:
             raise ValueError("--ladder and --checkpoint are mutually exclusive")
+        # --engine vsim puts the vector kernel on top as the fast rung;
+        # any other engine choice keeps the default csim-MV-first ladder.
         result = run_with_ladder(
-            circuit, tests, faults=faults, tracer=tracer, budget=budget
+            circuit,
+            tests,
+            VECTOR_LADDER if args.engine == "vsim" else DEFAULT_LADDER,
+            faults=faults,
+            tracer=tracer,
+            budget=budget,
+            word_width=word_width,
         )
     elif args.checkpoint and args.jobs > 1:
         from repro.parallel import run_parallel
@@ -376,6 +403,7 @@ def cmd_simulate(args) -> int:
             trace_dir=cli_trace.trace_dir,
             trace_ctx=cli_trace.ctx,
             record_events=cli_trace.trace_dir is not None,
+            word_width=word_width,
         )
     elif args.checkpoint:
         result = run_checkpointed(
@@ -389,6 +417,7 @@ def cmd_simulate(args) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
+            word_width=word_width,
         )
     else:
         result = run_stuck_at(
@@ -404,6 +433,7 @@ def cmd_simulate(args) -> int:
             trace_dir=cli_trace.trace_dir,
             trace_ctx=cli_trace.ctx,
             record_events=cli_trace.trace_dir is not None,
+            word_width=word_width,
         )
     cli_trace.finish(
         f"simulate {circuit.name}", engine=args.engine, jobs=args.jobs
@@ -680,13 +710,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_NAMES, default="csim-MV", help="default csim-MV"
     )
     simulate.add_argument(
+        "--word-width",
+        type=int,
+        metavar="N",
+        help="machines packed per word for the word engines (PROOFS/vsim): "
+        "a power of two >= 8 (default 64)",
+    )
+    simulate.add_argument(
         "--verbose", action="store_true", help="list detections with cycles"
     )
     simulate.add_argument(
         "--ladder",
         action="store_true",
         help="run the engine ladder: audit the result against the serial "
-        "oracle, degrading csim-MV -> csim -> serial on any failure",
+        "oracle, degrading csim-MV -> csim -> serial on any failure "
+        "(with --engine vsim the vector kernel tops the ladder: "
+        "vsim -> csim-MV -> csim -> serial)",
     )
     _add_obs_args(simulate)
     _add_robust_args(simulate)

@@ -28,7 +28,12 @@ from repro.patterns.vectors import TestSequence
 from repro.result import FaultSimResult
 
 #: Engine registry: name -> how to run stuck-at simulation with it.
-ENGINE_NAMES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS", "serial")
+#: ``vsim`` is the pattern-parallel vector kernel (``csim-V`` was already
+#: taken by the split-lists concurrent variant).
+ENGINE_NAMES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS", "vsim", "serial")
+
+#: Engines that take the ``--word-width`` packing knob.
+WORD_ENGINES = ("PROOFS", "vsim")
 
 _OPTIONS_BY_NAME = {
     "csim": SimOptions(),
@@ -54,13 +59,17 @@ def make_stuck_at_simulator(
     faults: Optional[Iterable[StuckAtFault]] = None,
     options: Optional[SimOptions] = None,
     tracer: Optional[Tracer] = None,
+    word_width: Optional[int] = None,
+    axis_mode: str = "auto",
 ):
     """Build the simulator object behind a named stuck-at engine.
 
     The resilient runner (:mod:`repro.robust.runner`) needs the simulator
     itself — for ``snapshot()``/``restore()`` and invariant checks — rather
     than just a finished result; the ``serial`` oracle has no incremental
-    simulator object and is rejected here.
+    simulator object and is rejected here.  ``word_width`` and
+    ``axis_mode`` only apply to the word-packed engines
+    (:data:`WORD_ENGINES`); other engines ignore them.
     """
     if engine == "serial":
         raise ValueError("the serial oracle has no incremental simulator object")
@@ -68,8 +77,23 @@ def make_stuck_at_simulator(
         options = _OPTIONS_BY_NAME.get(engine)
     if options is not None:
         return ConcurrentFaultSimulator(circuit, faults, options, tracer=tracer)
+    if engine == "vsim":
+        from repro.vector.kernel import VectorFaultSimulator
+
+        return VectorFaultSimulator(
+            circuit,
+            faults,
+            word_width=word_width if word_width is not None else 64,
+            axis_mode=axis_mode,
+            tracer=tracer,
+        )
     if engine == "PROOFS":
-        return ProofsSimulator(circuit, faults, tracer=tracer)
+        return ProofsSimulator(
+            circuit,
+            faults,
+            word_size=word_width if word_width is not None else 64,
+            tracer=tracer,
+        )
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
 
 
@@ -86,6 +110,8 @@ def run_stuck_at(
     trace_dir: Optional[str] = None,
     trace_ctx=None,
     record_events: bool = False,
+    word_width: Optional[int] = None,
+    axis_mode: str = "auto",
 ) -> FaultSimResult:
     """Run one stuck-at engine over *tests*.
 
@@ -121,12 +147,16 @@ def run_stuck_at(
             trace_dir=trace_dir,
             trace_ctx=trace_ctx,
             record_events=record_events,
+            word_width=word_width,
         )
     if engine == "serial" and options is None:
         return simulate_serial(
             circuit, tests.vectors, faults, budget=budget, tracer=tracer
         )
-    simulator = make_stuck_at_simulator(circuit, engine, faults, options, tracer)
+    simulator = make_stuck_at_simulator(
+        circuit, engine, faults, options, tracer, word_width=word_width,
+        axis_mode=axis_mode,
+    )
     return simulator.run(tests, budget=budget)
 
 

@@ -63,6 +63,8 @@ class ShardTask:
     trace_parent: Optional[TraceContext] = None
     #: Record the per-gate engine event stream into the trace directory.
     record_events: bool = False
+    #: Word width for the packed engines (PROOFS/vsim); None = default.
+    word_width: Optional[int] = None
 
 
 def _make_cycle_clock_tracer(record_events: bool):
@@ -155,6 +157,7 @@ def _run_shard(task: ShardTask, tests: TestSequence, tracer) -> FaultSimResult:
             resume=task.resume,
             checkpoint_every=task.checkpoint_every,
             fingerprint_extra=task.fingerprint_extra,
+            word_width=task.word_width,
         )
     elif task.transition:
         result = run_transition(
@@ -174,6 +177,7 @@ def _run_shard(task: ShardTask, tests: TestSequence, tracer) -> FaultSimResult:
             options=task.options,
             tracer=tracer,
             budget=task.budget,
+            word_width=task.word_width,
         )
     return result
 

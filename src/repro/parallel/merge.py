@@ -196,6 +196,22 @@ def merge_results(
         truncated=truncation_reason is not None,
         truncation_reason=truncation_reason,
         fallbacks=[dict(f) for part in parts for f in part.fallbacks],
+        axis_windows=merge_axis_windows([part.axis_windows for part in parts]),
     )
     merged.telemetry = merge_telemetry([part.telemetry for part in parts])
+    return merged
+
+
+def merge_axis_windows(parts: List[Dict[str, int]]) -> Dict[str, int]:
+    """Sum per-axis window counts across shards (vector engine only).
+
+    Each shard's scheduler plans independently from its own live-fault
+    count, so the merged mix reports the campaign's actual axis usage —
+    it is *not* expected to match a single-process run's mix (detection
+    outcomes are bit-identical regardless; the mix is telemetry).
+    """
+    merged: Dict[str, int] = {}
+    for part in parts:
+        for axis, count in part.items():
+            merged[axis] = merged.get(axis, 0) + count
     return merged

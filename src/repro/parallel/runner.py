@@ -96,6 +96,7 @@ def run_parallel(
     trace_dir: Optional[str] = None,
     trace_ctx: Optional[TraceContext] = None,
     record_events: bool = False,
+    word_width: Optional[int] = None,
 ) -> FaultSimResult:
     """Run one fault-simulation campaign sharded over *jobs* workers.
 
@@ -174,6 +175,7 @@ def run_parallel(
                 trace_dir=trace_dir,
                 trace_parent=trace_ctx,
                 record_events=record_events,
+                word_width=word_width,
             )
         )
 

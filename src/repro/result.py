@@ -94,6 +94,9 @@ class FaultSimResult:
     #: Engine-ladder degradations behind this result, oldest first: dicts
     #: with ``engine``, ``to``, ``reason`` (see ``repro.robust.ladder``).
     fallbacks: List[dict] = field(default_factory=list)
+    #: Window counts per packing axis ("fault"/"pattern") for the vector
+    #: engine (see ``repro.vector``); empty for every other engine.
+    axis_windows: Dict[str, int] = field(default_factory=dict)
     #: Recorded run telemetry (:class:`repro.obs.Telemetry`) when the run
     #: was traced with a recording tracer; None otherwise.  Typed loosely
     #: so this module stays import-light (obs imports result, not back).
@@ -142,4 +145,9 @@ class FaultSimResult:
                 [self.fallbacks[0]["engine"]] + [f["to"] for f in self.fallbacks]
             )
             text += f" [degraded: {steps}]"
+        if self.axis_windows:
+            mix = ", ".join(
+                f"{axis}={count}" for axis, count in sorted(self.axis_windows.items())
+            )
+            text += f" [axis windows: {mix}]"
         return text

@@ -20,7 +20,12 @@ from repro.robust.checkpoint import (
     write_checkpoint,
 )
 from repro.robust.guards import GuardedTracer, verify_invariants
-from repro.robust.ladder import DEFAULT_LADDER, oracle_spot_check, run_with_ladder
+from repro.robust.ladder import (
+    DEFAULT_LADDER,
+    VECTOR_LADDER,
+    oracle_spot_check,
+    run_with_ladder,
+)
 from repro.robust.runner import (
     DEFAULT_CHECKPOINT_EVERY,
     TableCampaign,
@@ -39,6 +44,7 @@ __all__ = [
     "TableCampaign",
     "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_LADDER",
+    "VECTOR_LADDER",
     "circuit_fingerprint",
     "config_fingerprint",
     "oracle_spot_check",

@@ -113,13 +113,47 @@ def verify_invariants(simulator) -> List[str]:
     Returns a list of violations (empty when the state is sound).  Checks
     apply to any engine exposing ``vis``/``descriptors`` (the zero-delay,
     transition and event-driven engines); the ``invis`` lists and the
-    live-element counter are checked when present.
+    live-element counter are checked when present.  The word-packed
+    engines (PROOFS, vsim) have no fault lists — their only per-fault
+    state is the faulty flip-flop diff map, which gets its own checks:
+    legal logic values, diffs that actually differ from the good latched
+    value, and no state carried for dropped faults.
     """
     violations: List[str] = []
     good = getattr(simulator, "good", None)
     vis = getattr(simulator, "vis", None)
     if vis is None:
-        return ["simulator exposes no fault lists to verify"]
+        ff_diffs = getattr(simulator, "ff_diffs", None)
+        if ff_diffs is None:
+            return ["simulator exposes no fault lists to verify"]
+        # Word-engine invariants: ``good`` is a LogicSimulator here; the
+        # ladder audits at cycle boundaries (post-clock), where each
+        # carried diff must disagree with the good machine's DFF value.
+        good_values = good.values if good is not None else []
+        detected = getattr(simulator, "detected", {})
+        for fault, diffs in ff_diffs.items():
+            if diffs and fault in detected:
+                violations.append(
+                    f"dropped fault {fault!r} still carries "
+                    f"{len(diffs)} flip-flop diffs"
+                )
+            for ff_index, value in diffs.items():
+                if value not in _VALID_VALUES:
+                    violations.append(
+                        f"flip-flop diff (fault {fault!r}, gate {ff_index}) holds "
+                        f"illegal logic value {value!r}"
+                    )
+                elif ff_index < len(good_values) and value == good_values[ff_index]:
+                    violations.append(
+                        f"flip-flop diff (fault {fault!r}, gate {ff_index}) equals "
+                        f"the good value {value!r} — not a diff"
+                    )
+        for index, value in enumerate(good_values):
+            if value not in _VALID_VALUES:
+                violations.append(
+                    f"good machine holds illegal logic value {value!r} at gate {index}"
+                )
+        return violations
 
     lists = [("visible", vis)]
     invis = getattr(simulator, "invis", None)

@@ -36,6 +36,13 @@ from repro.sim.logicsim import LogicSimulator
 #: be wrong in the ways the ladder guards against.
 DEFAULT_LADDER: Tuple[str, ...] = ("csim-MV", "csim", "serial")
 
+#: The ladder with the vector kernel as the fast rung: ``vsim`` (the
+#: pattern-parallel word engine, see :mod:`repro.vector`) degrades to
+#: ``csim-MV`` — with the same serial-oracle audit every rung gets —
+#: before the concurrent rungs degrade as usual.  The CLI uses this
+#: ladder when ``--ladder`` is combined with ``--engine vsim``.
+VECTOR_LADDER: Tuple[str, ...] = ("vsim", "csim-MV", "csim", "serial")
+
 
 def oracle_spot_check(
     circuit: Circuit,
@@ -104,6 +111,7 @@ def run_with_ladder(
     spot_check_sample: int = 8,
     seed: int = 1992,
     simulator_factory: Optional[Callable[[str, Circuit, object, object], object]] = None,
+    word_width: Optional[int] = None,
 ) -> FaultSimResult:
     """Run down the engine ladder until a rung produces an audited result.
 
@@ -149,7 +157,7 @@ def run_with_ladder(
                 simulator = simulator_factory(engine, circuit, faults, tracer)
             if simulator is None:
                 simulator = make_stuck_at_simulator(
-                    circuit, engine, faults, tracer=tracer
+                    circuit, engine, faults, tracer=tracer, word_width=word_width
                 )
             try:
                 result = simulator.run(tests, budget=budget)

@@ -27,7 +27,7 @@ from typing import Callable, Optional
 from repro.circuit.netlist import Circuit
 from repro.concurrent.options import SimOptions
 from repro.concurrent.transition_engine import TransitionFaultSimulator
-from repro.harness.runner import make_stuck_at_simulator
+from repro.harness.runner import WORD_ENGINES, make_stuck_at_simulator
 from repro.patterns.vectors import TestSequence
 from repro.result import FaultSimResult
 from repro.robust.budget import Budget
@@ -71,7 +71,10 @@ def run_fingerprint(
     )
 
 
-def _build_simulator(circuit, engine, transition, faults, options, tracer):
+def _build_simulator(
+    circuit, engine, transition, faults, options, tracer,
+    word_width=None, axis_mode="auto",
+):
     if transition:
         simulator = TransitionFaultSimulator(
             circuit, faults, options or SimOptions(split_lists=True), tracer=tracer
@@ -79,9 +82,10 @@ def _build_simulator(circuit, engine, transition, faults, options, tracer):
         label = "csim-TV" if simulator.options.split_lists else "csim-T"
         return simulator, label
     simulator = make_stuck_at_simulator(
-        circuit, engine, faults, options=options, tracer=tracer
+        circuit, engine, faults, options=options, tracer=tracer,
+        word_width=word_width, axis_mode=axis_mode,
     )
-    label = "PROOFS" if engine == "PROOFS" else simulator.options.variant_name
+    label = engine if engine in WORD_ENGINES else simulator.options.variant_name
     return simulator, label
 
 
@@ -99,6 +103,7 @@ def run_checkpointed(
     resume: bool = False,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     fingerprint_extra: tuple = (),
+    word_width: Optional[int] = None,
 ) -> FaultSimResult:
     """Run one fault-simulation campaign with durable progress.
 
@@ -115,7 +120,8 @@ def run_checkpointed(
     the checkpoint path for the caller's resume hint.
     """
     simulator, label = _build_simulator(
-        circuit, engine, transition, faults, options, tracer
+        circuit, engine, transition, faults, options, tracer,
+        word_width=word_width,
     )
     fingerprint = run_fingerprint(
         circuit, tests, label, simulator.faults, transition, fingerprint_extra

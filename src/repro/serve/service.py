@@ -940,6 +940,7 @@ class FaultSimService:
                 checkpoint_every=self.config.checkpoint_every,
                 trace_dir=self.config.trace_dir if trace_ctx is not None else None,
                 trace_ctx=trace_ctx,
+                word_width=spec.word_width,
             )
         from repro.robust.runner import run_checkpointed
 
@@ -954,6 +955,7 @@ class FaultSimService:
             checkpoint_path=checkpoint_path,
             resume=resume,
             checkpoint_every=self.config.checkpoint_every,
+            word_width=spec.word_width,
         )
 
     def _note_resume(self, record: JobRecord, checkpoint_path: str) -> bool:

@@ -27,7 +27,7 @@ from repro.circuit.bench import parse_bench
 from repro.faults.model import Fault
 from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
-from repro.harness.runner import ENGINE_NAMES
+from repro.harness.runner import ENGINE_NAMES, WORD_ENGINES
 from repro.parallel.sharding import STRATEGIES
 from repro.patterns.random_gen import random_sequence
 from repro.patterns.vectors import TestSequence, parse_vectors
@@ -85,6 +85,7 @@ _KNOWN_KEYS = frozenset(
         "idempotency_key",
         "deadline_seconds",
         "max_attempts",
+        "word_width",
     }
 )
 
@@ -121,6 +122,10 @@ class JobSpec:
     deadline_seconds: Optional[float] = None
     #: Per-job override of the service-wide transient-retry cap.
     max_attempts: Optional[int] = None
+    #: Word width for the packed engines (PROOFS/vsim): power of two
+    #: >= 8.  A performance knob that never changes detections, so — like
+    #: ``jobs`` — it is not part of the result-cache identity.
+    word_width: Optional[int] = None
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "JobSpec":
@@ -165,6 +170,19 @@ class JobSpec:
             max_attempts = _opt_int(payload, "max_attempts")
             if max_attempts < 1:
                 raise SpecError("'max_attempts' must be >= 1")
+        word_width: Optional[int] = None
+        if payload.get("word_width") is not None:
+            if engine not in WORD_ENGINES:
+                raise SpecError(
+                    f"'word_width' only applies to the word-packed engines "
+                    f"{WORD_ENGINES}, not {engine!r}"
+                )
+            from repro.vector.packing import validate_word_width
+
+            try:
+                word_width = validate_word_width(payload["word_width"])
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
         return cls(
             circuit=circuit,
             scale=_opt_float(payload, "scale", 1.0),
@@ -182,6 +200,7 @@ class JobSpec:
             idempotency_key=_opt_str(payload, "idempotency_key"),
             deadline_seconds=deadline_seconds,
             max_attempts=max_attempts,
+            word_width=word_width,
         )
 
     def to_payload(self) -> dict:
@@ -212,6 +231,8 @@ class JobSpec:
             payload["deadline_seconds"] = self.deadline_seconds
         if self.max_attempts is not None:
             payload["max_attempts"] = self.max_attempts
+        if self.word_width is not None:
+            payload["word_width"] = self.word_width
         return payload
 
     def circuit_source(self) -> Tuple[object, ...]:

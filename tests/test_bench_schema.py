@@ -1,0 +1,128 @@
+"""Benchmark JSON drift guard: every bench emits the repro-bench/1 schema.
+
+Three layers:
+
+1. a static scan — every ``benchmarks/bench_*.py`` must route its output
+   through ``benchlib`` (directly, or via the pytest ``run_once`` helper
+   whose session hook calls ``benchlib.write_bench_json``), so a new
+   bench cannot quietly invent its own JSON shape;
+2. an emission test — the standalone benches that write their own file
+   are run in-process on a tiny workload and the file they produce is
+   validated against the schema;
+3. an artifact sweep — any ``BENCH_*.json`` already sitting at the repo
+   root (e.g. produced by a full benchmark run or downloaded from CI)
+   is validated too.
+"""
+
+import glob
+import importlib
+import json
+import os
+import re
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+BENCH_SOURCES = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+
+SCHEMA = "repro-bench/1"
+REQUIRED_KEYS = {
+    "schema", "name", "config", "samples",
+    "p50_seconds", "p95_seconds", "timestamp", "detail",
+}
+
+
+def validate_bench_payload(payload, origin=""):
+    """Assert one parsed BENCH json conforms to repro-bench/1."""
+    assert isinstance(payload, dict), origin
+    missing = REQUIRED_KEYS - set(payload)
+    assert not missing, f"{origin}: missing keys {sorted(missing)}"
+    assert payload["schema"] == SCHEMA, origin
+    assert isinstance(payload["name"], str) and payload["name"], origin
+    assert isinstance(payload["config"], dict), origin
+    assert isinstance(payload["detail"], dict), origin
+    assert isinstance(payload["samples"], list) and payload["samples"], origin
+    for sample in payload["samples"]:
+        assert isinstance(sample["label"], str) and sample["label"], origin
+        assert isinstance(sample["seconds"], (int, float)), origin
+        assert sample["seconds"] >= 0, origin
+    assert isinstance(payload["p50_seconds"], (int, float)), origin
+    assert isinstance(payload["p95_seconds"], (int, float)), origin
+    assert payload["p50_seconds"] <= payload["p95_seconds"] or len(
+        payload["samples"]
+    ) == 1, origin
+    # ISO-8601 UTC timestamp, second resolution.
+    assert re.match(
+        r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\+00:00$", payload["timestamp"]
+    ), f"{origin}: bad timestamp {payload['timestamp']!r}"
+
+
+def _bench_module(name):
+    if BENCH_DIR not in sys.path:
+        sys.path.insert(0, BENCH_DIR)
+    return importlib.import_module(name)
+
+
+def test_every_bench_script_routes_through_benchlib():
+    assert BENCH_SOURCES, "no bench scripts found"
+    for path in BENCH_SOURCES:
+        with open(path) as handle:
+            source = handle.read()
+        assert "import benchlib" in source or "run_once" in source, (
+            f"{os.path.basename(path)} does not use benchlib/run_once — "
+            f"it would emit non-repro-bench/1 output"
+        )
+
+
+def test_write_bench_json_emits_schema(tmp_path):
+    benchlib = _bench_module("benchlib")
+    out = tmp_path / "BENCH_unit.json"
+    path = benchlib.write_bench_json(
+        "unit",
+        config={"k": 1},
+        samples=[{"label": "a", "seconds": 0.25},
+                 {"label": "b", "seconds": 0.5}],
+        detail={"rows": []},
+        out=str(out),
+    )
+    with open(path) as handle:
+        payload = json.load(handle)
+    validate_bench_payload(payload, origin="benchlib.write_bench_json")
+    assert payload["p50_seconds"] == 0.25  # nearest-rank percentile
+    assert payload["name"] == "unit"
+
+
+@pytest.mark.parametrize(
+    "module_name,argv",
+    [
+        (
+            "bench_vector_speedup",
+            ["--circuits", "s27", "--patterns", "12", "--widths", "8",
+             "--skip-ablation", "--repeats", "1"],
+        ),
+        (
+            "bench_prune_untestable",
+            ["--quick", "--circuits", "prunable12", "--patterns", "8"],
+        ),
+    ],
+)
+def test_standalone_bench_emits_valid_json(tmp_path, module_name, argv):
+    module = _bench_module(module_name)
+    out = tmp_path / f"BENCH_{module_name}.json"
+    assert module.main(argv + ["--out", str(out)]) == 0
+    with open(out) as handle:
+        payload = json.load(handle)
+    validate_bench_payload(payload, origin=module_name)
+
+
+def test_repo_root_artifacts_if_any():
+    """Validate whatever BENCH_*.json a previous benchmark run left behind."""
+    artifacts = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    if not artifacts:
+        pytest.skip("no BENCH_*.json artifacts at the repo root")
+    for path in artifacts:
+        with open(path) as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload, origin=os.path.basename(path))

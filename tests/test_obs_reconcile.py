@@ -30,7 +30,9 @@ FIELD_HOOKS = {
 }
 
 #: Every stuck-at engine, including the serial oracle.
-STUCK_AT_ENGINES = ("serial", "csim", "csim-V", "csim-M", "csim-MV", "PROOFS")
+STUCK_AT_ENGINES = (
+    "serial", "csim", "csim-V", "csim-M", "csim-MV", "PROOFS", "vsim"
+)
 
 
 class TestHookMirror:
