@@ -1,16 +1,30 @@
 """Static analysis over circuits and fault universes.
 
-Three tools, all usable before a single vector is simulated:
+Five tools, all usable before a single vector is simulated:
 
 * :mod:`repro.analyze.lint` — severity-tiered netlist diagnostics with
   ``file:line`` locations (``repro lint``);
 * :mod:`repro.analyze.scoap` + :mod:`repro.analyze.untestable` — SCOAP
   testability scores and sound structural pruning of provably
   undetectable faults (``--prune-untestable``);
+* :mod:`repro.analyze.collapse` — equivalence/dominance fault collapsing
+  with an exact expansion map back to the full universe (``--collapse``);
 * :mod:`repro.analyze.sanitize` — the opt-in fault-list invariant
-  checker for the concurrent engines (``--sanitize``).
+  checker for the concurrent engines (``--sanitize``);
+* :mod:`repro.analyze.codelint` — the AST determinism lint for this
+  codebase itself (unseeded randomness, wall clocks in hot paths,
+  set-order-dependent merges), run in CI.
 """
 
+from repro.analyze.collapse import (
+    AuditReport,
+    COLLAPSE_MODES,
+    CollapseAuditError,
+    CollapsedUniverse,
+    audit_expansion,
+    collapse_universe,
+    expand_verified,
+)
 from repro.analyze.lint import (
     Diagnostic,
     SEVERITIES,
@@ -32,6 +46,13 @@ from repro.analyze.untestable import (
 )
 
 __all__ = [
+    "AuditReport",
+    "COLLAPSE_MODES",
+    "CollapseAuditError",
+    "CollapsedUniverse",
+    "audit_expansion",
+    "collapse_universe",
+    "expand_verified",
     "Diagnostic",
     "SEVERITIES",
     "has_findings",

@@ -1,0 +1,303 @@
+"""Determinism lint: AST checks for nondeterminism hazards in the codebase.
+
+The whole repository stakes its correctness story on bit-identical
+replay: the same netlist, vectors and options must produce the same
+detections on every engine, under every ``--jobs`` sharding, across a
+kill/resume, and between a cache miss and a cache hit.  Three coding
+patterns quietly break that guarantee long before a test notices:
+
+``unseeded-random``
+    A call through the *module-level* :mod:`random` API (``random.random()``,
+    ``random.uniform()``, ...) draws from the interpreter-global RNG, whose
+    state depends on everything else that ran in the process.  Seeded
+    generator objects (``random.Random(seed)``) are fine and are the
+    repo-wide convention (see :mod:`repro.patterns.random_gen`).
+
+``wall-clock``
+    ``time.time()`` (or ``datetime.now()``) inside an engine hot path
+    couples simulation behaviour to the host clock.  Timing belongs in the
+    harness and observability layers, which exclude it from canonical
+    results; the engines themselves must be pure functions of their
+    inputs.  Monotonic stopwatches (``time.perf_counter``) are allowed —
+    they are only ever *reported*, never branched on — but the wall clock
+    has no business below the harness.
+
+``unordered-merge``
+    Iterating a ``set`` (or a set operation result) in the ``parallel`` or
+    ``serve`` layers makes merge order depend on hash seeding.  Shard
+    merges and cache serialization must iterate in ``sorted(...)`` order —
+    the same convention :func:`repro.parallel.merge.merge_results` and
+    :func:`repro.serve.cache.serialize_result` follow.
+
+A finding is suppressed by a trailing ``# codelint: ok`` comment on the
+flagged line — the marker documents, in place, that a human decided the
+use is benign (e.g. retry jitter in the serve layer, which perturbs
+*scheduling*, never results).
+
+Run as a module (CI does)::
+
+    python -m repro.analyze.codelint [paths...]
+
+Paths default to ``src/repro``; the exit status is the number of files
+with findings, capped at 1, so the lint composes with ``&&`` chains.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+#: Marker that waives a finding on its own physical line.
+SUPPRESS_MARKER = "# codelint: ok"
+
+#: Module-level :mod:`random` attributes that touch the global RNG.  The
+#: class constructors (``Random``, ``SystemRandom``) are deliberately
+#: absent — instantiating a seeded generator is the *fix*, not the bug.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Packages whose modules are engine hot paths: wall-clock reads here are
+#: findings.  Everything above the engines (harness, obs, serve) is free
+#: to measure wall time because canonical results exclude it.
+HOT_PATH_PACKAGES = ("concurrent", "vector", "baselines", "logic", "sim")
+
+#: Packages where iteration order becomes output order: shard merging and
+#: result serialization.
+ORDERED_MERGE_PACKAGES = ("parallel", "serve")
+
+#: ``set`` methods that return sets; iterating their result directly is
+#: just as order-dependent as iterating a literal.
+_SET_OPERATION_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _package_of(path: str) -> str:
+    """The first package segment under ``repro`` for *path*, or ``""``."""
+    parts = os.path.normpath(path).split(os.sep)
+    if "repro" in parts:
+        tail = parts[parts.index("repro") + 1 :]
+        if len(tail) > 1:
+            return tail[0]
+    return ""
+
+
+def _is_global_random_call(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "random"
+        and func.attr in _GLOBAL_RANDOM_FNS
+    )
+
+
+def _is_wall_clock_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    # time.time()
+    if isinstance(func.value, ast.Name):
+        if func.value.id == "time" and func.attr == "time":
+            return True
+        if func.value.id == "datetime" and func.attr in ("now", "utcnow", "today"):
+            return True
+    # datetime.datetime.now()
+    if (
+        isinstance(func.value, ast.Attribute)
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id == "datetime"
+        and func.value.attr in ("datetime", "date")
+        and func.attr in ("now", "utcnow", "today")
+    ):
+        return True
+    return False
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Whether *node* evaluates to a set with hash-dependent order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_OPERATION_METHODS
+            and _is_set_expression(func.value)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # ``a | b`` etc. is only a set operation when a side provably is
+        # one; integers share the operators, so require syntactic proof.
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, suppressed: Set[int]) -> None:
+        self.path = path
+        self.suppressed = suppressed
+        self.package = _package_of(path)
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if line not in self.suppressed:
+            self.findings.append(Finding(self.path, line, rule, message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_global_random_call(node):
+            assert isinstance(node.func, ast.Attribute)
+            self._flag(
+                node,
+                "unseeded-random",
+                f"random.{node.func.attr}() draws from the process-global "
+                "RNG; use a seeded random.Random instance",
+            )
+        if self.package in HOT_PATH_PACKAGES and _is_wall_clock_call(node):
+            self._flag(
+                node,
+                "wall-clock",
+                "wall-clock read in an engine hot path; engines must be "
+                "pure functions of their inputs (time belongs in the "
+                "harness/obs layers)",
+            )
+        self.generic_visit(node)
+
+    def _check_iteration(self, iterable: ast.expr) -> None:
+        if self.package in ORDERED_MERGE_PACKAGES and _is_set_expression(iterable):
+            self._flag(
+                iterable,
+                "unordered-merge",
+                "iteration over a set in a merge/serialization layer "
+                "depends on hash order; wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehensions(
+        self, node: ast.expr, generators: Sequence[ast.comprehension]
+    ) -> None:
+        for comp in generators:
+            self._check_iteration(comp.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehensions(node, node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehensions(node, node.generators)
+        self.generic_visit(node)
+
+
+def _suppressed_lines(source: str) -> Set[int]:
+    return {
+        number
+        for number, text in enumerate(source.splitlines(), start=1)
+        if SUPPRESS_MARKER in text
+    }
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns findings sorted by line."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 0
+        return [Finding(path, line, "syntax-error", str(exc.msg))]
+    visitor = _Visitor(path, _suppressed_lines(source))
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.line, f.rule))
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def _python_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    findings: List[Finding] = []
+    for path in _python_files(paths):
+        findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    paths: Tuple[str, ...] = tuple(argv) or ("src/repro",)
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"codelint: {len(findings)} finding(s) "
+            f"(suppress with '{SUPPRESS_MARKER}')",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,8 +14,13 @@ Commands
 ``lint`` exits 0 when the netlist is clean at the chosen severity, 1 when
 it has findings and 2 on usage or parse errors.  ``simulate``,
 ``transition`` and ``tables`` accept ``--prune-untestable`` (drop
-structurally untestable faults; survivor detections are bit-identical)
-and ``--sanitize`` (fault-list invariant checks at every phase boundary).
+structurally untestable faults; survivor detections are bit-identical),
+``--collapse`` (simulate one representative per fault-equivalence class
+of the *full* universe and expand detections back — bit-identical to
+simulating the whole universe; ``--collapse dominance`` adds
+fanout-free-region dominators with a serial-oracle audit of the
+conservative expansions) and ``--sanitize`` (fault-list invariant checks
+at every phase boundary).
 
 Circuits are named (``s27``, ``s298`` ... — synthetic stand-ins except the
 embedded real ``s27``) or paths to ISCAS-89 ``.bench`` files.  Test sets
@@ -30,11 +35,12 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.analyze.collapse import CollapseAuditError
 from repro.circuit.library import load
 from repro.circuit.netlist import NetlistError
 from repro.circuit.stats import circuit_stats
 from repro.faults.transition import all_transition_faults
-from repro.faults.universe import stuck_at_universe
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
 from repro.harness.reporting import format_table
 from repro.harness.runner import (
     ENGINE_NAMES,
@@ -264,6 +270,20 @@ def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
         "simulating; detections on the surviving faults are bit-identical",
     )
     parser.add_argument(
+        "--collapse",
+        nargs="?",
+        const="equivalence",
+        choices=("equivalence", "dominance"),
+        default=None,
+        metavar="MODE",
+        help="simulate one representative per fault class of the full "
+        "universe, then expand detections back through the class map "
+        "(bit-identical to simulating the whole universe); 'dominance' "
+        "additionally drops fanout-free-region dominators, expanding them "
+        "conservatively with a serial-oracle audit (default MODE: "
+        "equivalence)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="check fault-list invariants at every phase boundary "
@@ -271,19 +291,68 @@ def _add_analyze_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _pruned_faults(args, circuit, transition: bool):
-    """The fault list for the run: pruned when requested, else ``None``
-    (engines then build the full universe themselves)."""
-    if not args.prune_untestable:
-        return None
-    from repro.analyze import prune_untestable
+def _analysis_faults(args, circuit, transition: bool):
+    """Resolve ``--prune-untestable``/``--collapse`` into a fault list.
 
-    universe = (
-        all_transition_faults(circuit) if transition else stuck_at_universe(circuit)
+    Returns ``(faults, collapsed)``: the list the engine should simulate
+    (``None`` means the engine builds its default universe itself) and the
+    :class:`~repro.analyze.CollapsedUniverse` expansion map (``None``
+    without ``--collapse``).  Composition order is prune-then-collapse:
+    pruning drops whole classes (equivalent faults are untestable
+    together), and the collapse targets the pruned *full* universe so the
+    expanded result is bit-identical to simulating every survivor.
+    """
+    collapse_mode = getattr(args, "collapse", None)
+    faults = None
+    if collapse_mode is not None:
+        faults = (
+            all_transition_faults(circuit)
+            if transition
+            else all_stuck_at_faults(circuit)
+        )
+    if args.prune_untestable:
+        from repro.analyze import prune_untestable
+
+        universe = faults
+        if universe is None:
+            universe = (
+                all_transition_faults(circuit)
+                if transition
+                else stuck_at_universe(circuit)
+            )
+        report = prune_untestable(circuit, universe)
+        print(f"# {report.summary()}", file=sys.stderr)
+        faults = report.kept
+    if collapse_mode is None:
+        return faults, None
+    from repro.analyze import collapse_universe
+
+    collapsed = collapse_universe(
+        circuit, faults, mode=collapse_mode, transition=transition
     )
-    report = prune_untestable(circuit, universe)
-    print(f"# {report.summary()}", file=sys.stderr)
-    return report.kept
+    print(f"# {collapsed.summary()}", file=sys.stderr)
+    return list(collapsed.representatives), collapsed
+
+
+def _expand_result(circuit, tests, collapsed, result):
+    """Expand a representatives-only result onto the full universe.
+
+    Dominance-mode runs confirm every proposed inheritance against the
+    serial oracle inside :func:`repro.analyze.expand_verified`; refuted
+    proposals are dropped (left undetected) rather than emitted, and the
+    confirmation tally is reported on stderr.
+    """
+    if collapsed is None:
+        return result
+    if collapsed.implied_by:
+        from repro.analyze import expand_verified
+
+        expanded, report = expand_verified(
+            circuit, tests.vectors, collapsed, result
+        )
+        print(f"# {report.summary()}", file=sys.stderr)
+        return expanded
+    return collapsed.expand(result)
 
 
 def _add_test_args(parser: argparse.ArgumentParser) -> None:
@@ -298,9 +367,13 @@ def _add_test_args(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_stats(args) -> int:
+    from repro.analyze import collapse_universe
+
     circuit = load(args.circuit, scale=args.scale)
     stats = circuit_stats(circuit)
-    faults = stuck_at_universe(circuit)
+    full = all_stuck_at_faults(circuit)
+    equivalence = collapse_universe(circuit)
+    dominance = collapse_universe(circuit, mode="dominance")
     transition = all_transition_faults(circuit)
     print(
         format_table(
@@ -312,7 +385,17 @@ def cmd_stats(args) -> int:
                 ("combinational gates", stats.num_gates),
                 ("levels", stats.num_levels),
                 ("lines", stats.num_lines),
-                ("collapsed stuck-at faults", len(faults)),
+                ("stuck-at faults (full universe)", len(full)),
+                ("collapsed stuck-at faults", equivalence.num_representatives),
+                (
+                    "equivalence collapse ratio",
+                    f"{100.0 * equivalence.ratio:.1f}%",
+                ),
+                (
+                    "dominance representatives",
+                    dominance.num_representatives,
+                ),
+                ("dominance collapse ratio", f"{100.0 * dominance.ratio:.1f}%"),
                 ("transition faults", len(transition)),
             ],
             title=f"{circuit.name}",
@@ -345,6 +428,14 @@ def cmd_lint(args) -> int:
         from repro.obs import format_diagnostics
 
         print(format_diagnostics(diagnostics, name))
+        try:
+            circuit = load(args.circuit, scale=args.scale)
+        except (NetlistError, FileNotFoundError, ValueError):
+            circuit = None  # the diagnostics above already tell the story
+        if circuit is not None:
+            from repro.analyze import collapse_universe
+
+            print(f"# {collapse_universe(circuit).summary()}", file=sys.stderr)
     return 1 if has_findings(diagnostics, fail_on=args.fail_on) else 0
 
 
@@ -356,7 +447,10 @@ def cmd_simulate(args) -> int:
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
     budget = _make_budget(args)
-    faults = _pruned_faults(args, circuit, transition=False)
+    faults, collapsed = _analysis_faults(args, circuit, transition=False)
+    fingerprint_extra = (
+        collapsed.fingerprint_material() if collapsed is not None else ()
+    )
     options = None
     if args.sanitize:
         if args.ladder:
@@ -404,6 +498,7 @@ def cmd_simulate(args) -> int:
             trace_ctx=cli_trace.ctx,
             record_events=cli_trace.trace_dir is not None,
             word_width=word_width,
+            fingerprint_extra=fingerprint_extra,
         )
     elif args.checkpoint:
         result = run_checkpointed(
@@ -418,6 +513,7 @@ def cmd_simulate(args) -> int:
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
             word_width=word_width,
+            fingerprint_extra=fingerprint_extra,
         )
     else:
         result = run_stuck_at(
@@ -438,6 +534,7 @@ def cmd_simulate(args) -> int:
     cli_trace.finish(
         f"simulate {circuit.name}", engine=args.engine, jobs=args.jobs
     )
+    result = _expand_result(circuit, tests, collapsed, result)
     print(result.summary())
     if args.verbose:
         from repro.faults.model import fault_name
@@ -455,7 +552,10 @@ def cmd_transition(args) -> int:
     tests = _load_tests(args, circuit)
     tracer = _make_tracer(args)
     budget = _make_budget(args)
-    faults = _pruned_faults(args, circuit, transition=True)
+    faults, collapsed = _analysis_faults(args, circuit, transition=True)
+    fingerprint_extra = (
+        collapsed.fingerprint_material() if collapsed is not None else ()
+    )
     options = None
     if args.sanitize:
         from repro.concurrent.options import SimOptions
@@ -481,6 +581,7 @@ def cmd_transition(args) -> int:
             trace_dir=cli_trace.trace_dir,
             trace_ctx=cli_trace.ctx,
             record_events=cli_trace.trace_dir is not None,
+            fingerprint_extra=fingerprint_extra,
         )
     elif args.checkpoint:
         result = run_checkpointed(
@@ -494,6 +595,7 @@ def cmd_transition(args) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
+            fingerprint_extra=fingerprint_extra,
         )
     else:
         result = run_transition(
@@ -510,6 +612,7 @@ def cmd_transition(args) -> int:
             record_events=cli_trace.trace_dir is not None,
         )
     cli_trace.finish(f"transition {circuit.name}", jobs=args.jobs)
+    result = _expand_result(circuit, tests, collapsed, result)
     print(result.summary())
     _emit_observability(args, result, circuit, tracer)
     return 0
@@ -636,6 +739,7 @@ def cmd_tables(args) -> int:
             bool(args.deterministic),
             bool(args.prune_untestable),
             bool(args.sanitize),
+            args.collapse or "",
         )
         campaign = TableCampaign(
             args.checkpoint, resume=args.resume, fingerprint=fingerprint
@@ -648,6 +752,7 @@ def cmd_tables(args) -> int:
             deterministic=args.deterministic,
             jobs=args.jobs,
             prune_untestable=args.prune_untestable,
+            collapse=args.collapse,
             sanitize=args.sanitize,
         )
     )
@@ -953,6 +1058,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("interrupted (no checkpoint; progress lost)", file=sys.stderr)
         return 130
     except (NetlistError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CollapseAuditError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -24,11 +24,11 @@ check diffs — is byte-identical to a single-process run.
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.library import TABLE5_CIRCUIT
 from repro.circuit.stats import circuit_stats
-from repro.faults.universe import stuck_at_universe
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
 from repro.harness.reporting import format_table
 from repro.harness.runner import (
     compare_engines,
@@ -54,6 +54,46 @@ def _pruned(circuit, faults):
     from repro.analyze import prune_untestable
 
     return prune_untestable(circuit, faults).kept
+
+
+def _stuck_at_targets(circuit, prune: bool, collapse: Optional[str]):
+    """The stuck-at fault list one cell simulates, honouring the flags.
+
+    Returns ``(faults, collapsed)``.  Without ``collapse`` this is the old
+    behaviour (``None`` → engine default universe, pruned when asked).
+    With it, the cell simulates the representatives of the *full* (pruned)
+    universe and the caller expands results through ``collapsed`` so the
+    reported fault counts and coverages are those of the full universe.
+    """
+    if collapse is None:
+        faults = _pruned(circuit, stuck_at_universe(circuit)) if prune else None
+        return faults, None
+    from repro.analyze import collapse_universe
+
+    universe = all_stuck_at_faults(circuit)
+    if prune:
+        universe = _pruned(circuit, universe)
+    collapsed = collapse_universe(circuit, universe, mode=collapse)
+    return list(collapsed.representatives), collapsed
+
+
+def _expand_all(circuit, tests, collapsed, results):
+    """Expand every result through the collapse map (no-op without one).
+
+    Equivalence maps expand exactly; dominance maps route through the
+    serial-oracle confirmation so a table cell never reports a detection
+    the full universe would not have produced.
+    """
+    if collapsed is None:
+        return results
+    if collapsed.implied_by:
+        from repro.analyze import expand_verified
+
+        return [
+            expand_verified(circuit, tests.vectors, collapsed, result)[0]
+            for result in results
+        ]
+    return [collapsed.expand(result) for result in results]
 
 
 def _cell(campaign, key, compute):
@@ -103,12 +143,21 @@ Row = Dict[str, object]
 _TABLE3_ENGINES = ("csim", "csim-V", "csim-M", "csim-MV", "PROOFS")
 
 
-def _table2_cell(name: str, scale: float, seed: int, prune: bool = False) -> Row:
+def _table2_cell(
+    name: str,
+    scale: float,
+    seed: int,
+    prune: bool = False,
+    collapse: Optional[str] = None,
+) -> Row:
     circuit = workload_circuit(name, scale)
     stats = circuit_stats(circuit)
-    faults = stuck_at_universe(circuit)
-    if prune:
-        faults = _pruned(circuit, faults)
+    if collapse is not None:
+        faults, _ = _stuck_at_targets(circuit, prune, collapse)
+    else:
+        faults = stuck_at_universe(circuit)
+        if prune:
+            faults = _pruned(circuit, faults)
     tests = workload_tests(name, scale, "deterministic", seed=seed)
     return {
         "circuit": name,
@@ -130,16 +179,23 @@ def _table3_cell(
     deterministic: bool,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Row:
     circuit = workload_circuit(name, scale)
     tests = workload_tests(name, scale, "deterministic", seed=seed)
-    results = compare_engines(
+    faults, collapsed = _stuck_at_targets(circuit, prune, collapse)
+    results = _expand_all(
         circuit,
         tests,
-        _TABLE3_ENGINES,
-        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
-        tracer_factory=_tracer_factory(telemetry),
-        sanitize=sanitize,
+        collapsed,
+        compare_engines(
+            circuit,
+            tests,
+            _TABLE3_ENGINES,
+            faults=faults,
+            tracer_factory=_tracer_factory(telemetry),
+            sanitize=sanitize,
+        ),
     )
     row: Row = {
         "circuit": name,
@@ -162,16 +218,23 @@ def _table4_cell(
     deterministic: bool,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Row:
     circuit = workload_circuit(name, scale)
     tests = workload_tests(name, scale, "deterministic-high", seed=seed)
-    results = compare_engines(
+    faults, collapsed = _stuck_at_targets(circuit, prune, collapse)
+    results = _expand_all(
         circuit,
         tests,
-        ("csim-MV", "PROOFS"),
-        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
-        tracer_factory=_tracer_factory(telemetry),
-        sanitize=sanitize,
+        collapsed,
+        compare_engines(
+            circuit,
+            tests,
+            ("csim-MV", "PROOFS"),
+            faults=faults,
+            tracer_factory=_tracer_factory(telemetry),
+            sanitize=sanitize,
+        ),
     )
     csim_mv, proofs = results
     row: Row = {
@@ -197,16 +260,23 @@ def _table5_cell(
     deterministic: bool,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Row:
     circuit = workload_circuit(circuit_name, scale)
     tests = workload_tests(circuit_name, scale, "random", length=count, seed=seed)
-    results = compare_engines(
+    faults, collapsed = _stuck_at_targets(circuit, prune, collapse)
+    results = _expand_all(
         circuit,
         tests,
-        ("csim-MV", "PROOFS"),
-        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
-        tracer_factory=_tracer_factory(telemetry),
-        sanitize=sanitize,
+        collapsed,
+        compare_engines(
+            circuit,
+            tests,
+            ("csim-MV", "PROOFS"),
+            faults=faults,
+            tracer_factory=_tracer_factory(telemetry),
+            sanitize=sanitize,
+        ),
     )
     csim_mv, proofs = results
     row: Row = {
@@ -231,30 +301,58 @@ def _table6_cell(
     deterministic: bool,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Row:
     circuit = workload_circuit(name, scale)
     tests = workload_tests(name, scale, "deterministic", seed=seed)
     faults = workload_transition_faults(name, scale)
     if prune:
         faults = _pruned(circuit, faults)
-    result = run_transition(
+    run_faults, t_collapsed = faults, None
+    if collapse is not None:
+        from repro.analyze import collapse_universe
+
+        t_collapsed = collapse_universe(
+            circuit, faults, mode=collapse, transition=True
+        )
+        run_faults = list(t_collapsed.representatives)
+    result = _expand_all(
         circuit,
         tests,
-        split_lists=True,
-        faults=faults,
-        tracer=RecordingTracer() if telemetry else None,
-        sanitize=sanitize,
-    )
-    stuck = run_stuck_at(
+        t_collapsed,
+        [
+            run_transition(
+                circuit,
+                tests,
+                split_lists=True,
+                faults=run_faults,
+                tracer=RecordingTracer() if telemetry else None,
+                sanitize=sanitize,
+            )
+        ],
+    )[0]
+    stuck_faults, s_collapsed = _stuck_at_targets(circuit, prune, collapse)
+    stuck = _expand_all(
         circuit,
         tests,
-        "csim-MV",
-        faults=_pruned(circuit, stuck_at_universe(circuit)) if prune else None,
-        options=engine_options("csim-MV").with_(sanitize=True) if sanitize else None,
-    )
+        s_collapsed,
+        [
+            run_stuck_at(
+                circuit,
+                tests,
+                "csim-MV",
+                faults=stuck_faults,
+                options=(
+                    engine_options("csim-MV").with_(sanitize=True)
+                    if sanitize
+                    else None
+                ),
+            )
+        ],
+    )[0]
     row: Row = {
         "circuit": name,
-        "faults": len(faults),
+        "faults": result.num_faults,
         "patterns": len(tests),
         "stuck_coverage": 100.0 * stuck.coverage,
         "coverage": 100.0 * result.coverage,
@@ -287,11 +385,14 @@ def table2(
     seed: int = DEFAULT_SEED,
     campaign=None,
     prune: bool = False,
+    collapse: Optional[str] = None,
 ) -> Tuple[List[Row], str]:
     """Table 2 — benchmark circuit statistics and the tests applied."""
     rows: List[Row] = [
         _cell(
-            campaign, ("table2", name), partial(_table2_cell, name, scale, seed, prune)
+            campaign,
+            ("table2", name),
+            partial(_table2_cell, name, scale, seed, prune, collapse),
         )
         for name in circuits
     ]
@@ -315,6 +416,7 @@ def table3(
     deterministic: bool = False,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Tuple[List[Row], str]:
     """Table 3 — deterministic patterns (I): CPU and memory per engine.
 
@@ -333,7 +435,8 @@ def table3(
             campaign,
             ("table3", name),
             partial(
-                _table3_cell, name, scale, seed, telemetry, deterministic, prune, sanitize
+                _table3_cell, name, scale, seed, telemetry, deterministic, prune,
+                sanitize, collapse,
             ),
         )
         for name in circuits
@@ -366,6 +469,7 @@ def table4(
     deterministic: bool = False,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Tuple[List[Row], str]:
     """Table 4 — deterministic patterns (II): higher-coverage test sets,
     csim-MV vs PROOFS."""
@@ -374,7 +478,8 @@ def table4(
             campaign,
             ("table4", name),
             partial(
-                _table4_cell, name, scale, seed, telemetry, deterministic, prune, sanitize
+                _table4_cell, name, scale, seed, telemetry, deterministic, prune,
+                sanitize, collapse,
             ),
         )
         for name in circuits
@@ -408,6 +513,7 @@ def table5(
     deterministic: bool = False,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Tuple[List[Row], str]:
     """Table 5 — random-pattern simulation on the largest circuit.
 
@@ -429,6 +535,7 @@ def table5(
                 deterministic,
                 prune,
                 sanitize,
+                collapse,
             ),
         )
         for count in pattern_counts
@@ -460,6 +567,7 @@ def table6(
     deterministic: bool = False,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> Tuple[List[Row], str]:
     """Table 6 — transition-fault simulation of the stuck-at test sets.
 
@@ -471,7 +579,8 @@ def table6(
             campaign,
             ("table6", name),
             partial(
-                _table6_cell, name, scale, seed, telemetry, deterministic, prune, sanitize
+                _table6_cell, name, scale, seed, telemetry, deterministic, prune,
+                sanitize, collapse,
             ),
         )
         for name in circuits
@@ -501,6 +610,7 @@ def plan_cells(
     deterministic: bool = False,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> List[tuple]:
     """Every cell :func:`all_tables` computes, as ``(key, (table, args))``.
 
@@ -514,19 +624,27 @@ def plan_cells(
     seed = DEFAULT_SEED
     cells: List[tuple] = []
     for name in t3_circuits:
-        cells.append((("table2", name), ("table2", (name, scale, seed, prune))))
+        cells.append(
+            (("table2", name), ("table2", (name, scale, seed, prune, collapse)))
+        )
     for name in t3_circuits:
         cells.append(
             (
                 ("table3", name),
-                ("table3", (name, scale, seed, False, deterministic, prune, sanitize)),
+                (
+                    "table3",
+                    (name, scale, seed, False, deterministic, prune, sanitize, collapse),
+                ),
             )
         )
     for name in DEFAULT_TABLE4:
         cells.append(
             (
                 ("table4", name),
-                ("table4", (name, scale, seed, False, deterministic, prune, sanitize)),
+                (
+                    "table4",
+                    (name, scale, seed, False, deterministic, prune, sanitize, collapse),
+                ),
             )
         )
     for count in t5_counts:
@@ -544,6 +662,7 @@ def plan_cells(
                         deterministic,
                         prune,
                         sanitize,
+                        collapse,
                     ),
                 ),
             )
@@ -552,7 +671,10 @@ def plan_cells(
         cells.append(
             (
                 ("table6", name),
-                ("table6", (name, scale, seed, False, deterministic, prune, sanitize)),
+                (
+                    "table6",
+                    (name, scale, seed, False, deterministic, prune, sanitize, collapse),
+                ),
             )
         )
     return cells
@@ -566,6 +688,7 @@ def prefill_cells(
     jobs: int = 1,
     prune: bool = False,
     sanitize: bool = False,
+    collapse: Optional[str] = None,
 ) -> int:
     """Fill a campaign's cell cache in parallel; returns cells computed.
 
@@ -576,7 +699,7 @@ def prefill_cells(
     """
     pending = [
         spec
-        for spec in plan_cells(scale, quick, deterministic, prune, sanitize)
+        for spec in plan_cells(scale, quick, deterministic, prune, sanitize, collapse)
         if spec[0] not in campaign.cells
     ]
     if not pending:
@@ -601,6 +724,7 @@ def all_tables(
     deterministic: bool = False,
     jobs: int = 1,
     prune_untestable: bool = False,
+    collapse: Optional[str] = None,
     sanitize: bool = False,
 ) -> str:
     """Run every table and return one combined report.
@@ -621,11 +745,18 @@ def all_tables(
 
             campaign = TableCampaign()
         prefill_cells(
-            campaign, scale, quick, deterministic, jobs, prune_untestable, sanitize
+            campaign, scale, quick, deterministic, jobs, prune_untestable,
+            sanitize, collapse,
         )
     t3_circuits = DEFAULT_TABLE4 if quick else DEFAULT_TABLE3
     sections = [
-        table2(t3_circuits, scale, campaign=campaign, prune=prune_untestable)[1],
+        table2(
+            t3_circuits,
+            scale,
+            campaign=campaign,
+            prune=prune_untestable,
+            collapse=collapse,
+        )[1],
         table3(
             t3_circuits,
             scale,
@@ -633,6 +764,7 @@ def all_tables(
             deterministic=deterministic,
             prune=prune_untestable,
             sanitize=sanitize,
+            collapse=collapse,
         )[1],
         table4(
             DEFAULT_TABLE4,
@@ -641,6 +773,7 @@ def all_tables(
             deterministic=deterministic,
             prune=prune_untestable,
             sanitize=sanitize,
+            collapse=collapse,
         )[1],
         table5(
             scale=0.03 if quick else 0.05,
@@ -649,6 +782,7 @@ def all_tables(
             deterministic=deterministic,
             prune=prune_untestable,
             sanitize=sanitize,
+            collapse=collapse,
         )[1],
         table6(
             DEFAULT_TABLE6,
@@ -657,6 +791,7 @@ def all_tables(
             deterministic=deterministic,
             prune=prune_untestable,
             sanitize=sanitize,
+            collapse=collapse,
         )[1],
     ]
     return "\n\n".join(sections)

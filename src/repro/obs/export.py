@@ -16,12 +16,15 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, TextIO
 
 from repro.obs.metrics import Telemetry
 
+if TYPE_CHECKING:
+    from repro.circuit.netlist import Circuit
 
-def write_jsonl_trace(records: Iterable[Dict[str, object]], path) -> int:
+
+def write_jsonl_trace(records: Iterable[Dict[str, object]], path: str) -> int:
     """Write trace *records* to *path* as JSON Lines; returns the count."""
     count = 0
     with open(path, "w") as handle:
@@ -32,7 +35,7 @@ def write_jsonl_trace(records: Iterable[Dict[str, object]], path) -> int:
     return count
 
 
-def read_jsonl_trace(path) -> List[Dict[str, object]]:
+def read_jsonl_trace(path: str) -> List[Dict[str, object]]:
     """Read a JSONL trace back into the list of records that produced it."""
     records: List[Dict[str, object]] = []
     with open(path) as handle:
@@ -48,7 +51,7 @@ def metrics_summary(telemetry: Telemetry) -> Dict[str, object]:
     return telemetry.summary_dict()
 
 
-def write_metrics_json(telemetry: Telemetry, path) -> None:
+def write_metrics_json(telemetry: Telemetry, path: str) -> None:
     """Write :func:`metrics_summary` to *path* (pretty-printed JSON)."""
     with open(path, "w") as handle:
         json.dump(metrics_summary(telemetry), handle, indent=2, sort_keys=True)
@@ -59,7 +62,7 @@ def diagnostics_summary(diagnostics: Iterable) -> Dict[str, object]:
     """JSON-safe summary of lint diagnostics (duck-typed against
     :class:`repro.analyze.lint.Diagnostic` to keep obs free of an analyze
     dependency)."""
-    records = []
+    records: List[Dict[str, object]] = []
     by_severity: Dict[str, int] = {}
     for diagnostic in diagnostics:
         by_severity[diagnostic.severity] = by_severity.get(diagnostic.severity, 0) + 1
@@ -75,7 +78,7 @@ def diagnostics_summary(diagnostics: Iterable) -> Dict[str, object]:
     return {"diagnostics": records, "counts": by_severity, "total": len(records)}
 
 
-def write_diagnostics_json(diagnostics: Iterable, stream) -> None:
+def write_diagnostics_json(diagnostics: Iterable, stream: TextIO) -> None:
     """Write :func:`diagnostics_summary` to an open text *stream*."""
     json.dump(diagnostics_summary(diagnostics), stream, indent=2, sort_keys=True)
     stream.write("\n")
@@ -113,7 +116,7 @@ def _histogram_buckets(histogram: Dict[int, int]) -> List[tuple]:
 
 def profile_report(
     telemetry: Telemetry,
-    circuit=None,
+    circuit: Optional["Circuit"] = None,
     top_k: int = 10,
     max_timeline_rows: int = 20,
 ) -> str:

@@ -101,7 +101,7 @@ def _shard_spans(roots: List[SpanNode]) -> List[SpanNode]:
         for node, _ in root.walk()
         if "shard" in node.attrs
     ]
-    shards.sort(key=lambda node: int(node.attrs["shard"]))  # type: ignore[arg-type]
+    shards.sort(key=lambda node: int(str(node.attrs["shard"])))
     return shards
 
 

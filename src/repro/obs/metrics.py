@@ -12,7 +12,7 @@ without further translation.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.result import WorkCounters
 
@@ -29,7 +29,9 @@ class Telemetry:
     #: phase name -> cumulative wall seconds across all cycles.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: One metric row per cycle (see RecordingTracer.cycle_end for keys).
-    cycles: List[Dict[str, object]] = field(default_factory=list)
+    #: Values are ints except ``queue_depth`` (a level -> count dict),
+    #: hence ``Any``.
+    cycles: List[Dict[str, Any]] = field(default_factory=list)
     #: gate index -> faulty-machine evaluations charged to it (churn).
     gate_fault_evals: Dict[int, int] = field(default_factory=dict)
     gate_good_evals: Dict[int, int] = field(default_factory=dict)

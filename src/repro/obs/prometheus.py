@@ -18,7 +18,7 @@ client library.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 
@@ -47,7 +47,7 @@ def _labels(labels: Mapping[str, object]) -> str:
     return "{" + inner + "}"
 
 
-def _num(value: object) -> str:
+def _num(value: Any) -> str:
     if value == float("inf"):
         return "+Inf"
     if isinstance(value, bool):

@@ -29,7 +29,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, TextIO
 
 #: Span files a trace directory is stitched from.
 SPAN_FILE_PREFIX = "spans-"
@@ -104,7 +104,7 @@ class SpanWriter:
             trace_dir, f"{SPAN_FILE_PREFIX}{label}-{os.getpid()}.jsonl"
         )
         self._lock = threading.Lock()
-        self._handle = None
+        self._handle: Optional[TextIO] = None
         os.makedirs(trace_dir, exist_ok=True)
 
     def emit(

@@ -17,9 +17,12 @@ event-driven dropping, plus per-phase wall time and per-cycle boundaries.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.result import WorkCounters
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import Telemetry
 
 
 class Tracer:
@@ -93,7 +96,7 @@ class Tracer:
 
     # -- results --------------------------------------------------------
 
-    def telemetry(self):
+    def telemetry(self) -> Optional["Telemetry"]:
         """The recorded telemetry, or None for non-recording tracers."""
         return None
 
@@ -151,7 +154,7 @@ class RecordingTracer(Tracer):
 
     # -- internals ------------------------------------------------------
 
-    def _emit(self, record_type: str, **fields) -> None:
+    def _emit(self, record_type: str, **fields: object) -> None:
         record: Dict[str, object] = {"t": record_type, "cycle": self._current_cycle}
         record.update(fields)
         self.records.append(record)
@@ -180,7 +183,7 @@ class RecordingTracer(Tracer):
         self, cycle: int, live: int = 0, visible: int = 0, invisible: int = 0
     ) -> None:
         totals, base = self.totals, self._cycle_base
-        row: Dict[str, object] = {
+        row: Dict[str, Any] = {
             "cycle": cycle,
             "good_evaluations": totals.good_evaluations - base.good_evaluations,
             "fault_evaluations": totals.fault_evaluations - base.fault_evaluations,
@@ -272,19 +275,20 @@ class RecordingTracer(Tracer):
     # -- resilience ----------------------------------------------------
 
     def budget_breach(self, kind: str, limit: float, actual: float) -> None:
-        breach = {"kind": kind, "limit": limit, "actual": actual,
-                  "cycle": self._current_cycle}
+        breach: Dict[str, object] = {"kind": kind, "limit": limit,
+                                     "actual": actual,
+                                     "cycle": self._current_cycle}
         self.budget_breaches.append(breach)
         self._emit("budget_breach", **breach)
 
     def fallback(self, engine: str, to: str, reason: str) -> None:
-        record = {"engine": engine, "to": to, "reason": reason}
+        record: Dict[str, object] = {"engine": engine, "to": to, "reason": reason}
         self.fallbacks.append(record)
         self._emit("fallback", **record)
 
     # -- results --------------------------------------------------------
 
-    def telemetry(self):
+    def telemetry(self) -> "Telemetry":
         from repro.obs.metrics import Telemetry
 
         return Telemetry(

@@ -25,9 +25,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import RecordingTracer
 from repro.concurrent.options import SimOptions
 from repro.obs.span import SpanWriter, TraceContext
 from repro.patterns.vectors import TestSequence, Vector
@@ -67,7 +70,7 @@ class ShardTask:
     word_width: Optional[int] = None
 
 
-def _make_cycle_clock_tracer(record_events: bool):
+def _make_cycle_clock_tracer(record_events: bool) -> "RecordingTracer":
     """A RecordingTracer that also wall-clocks every cycle boundary."""
     import time
 
@@ -126,6 +129,7 @@ def simulate_shard(task: ShardTask) -> Tuple[int, FaultSimResult]:
 
     tests = TestSequence(len(task.circuit.inputs), list(task.vectors))
     tracing = task.trace_dir is not None and task.trace_parent is not None
+    tracer: Optional[RecordingTracer]
     if tracing:
         tracer = _make_cycle_clock_tracer(task.record_events)
     elif task.telemetry:
@@ -139,7 +143,9 @@ def simulate_shard(task: ShardTask) -> Tuple[int, FaultSimResult]:
     return task.index, result
 
 
-def _run_shard(task: ShardTask, tests: TestSequence, tracer) -> FaultSimResult:
+def _run_shard(
+    task: ShardTask, tests: TestSequence, tracer: Optional["RecordingTracer"]
+) -> FaultSimResult:
     from repro.harness.runner import run_stuck_at, run_transition
     from repro.robust.runner import run_checkpointed
 
@@ -183,7 +189,10 @@ def _run_shard(task: ShardTask, tests: TestSequence, tracer) -> FaultSimResult:
 
 
 def _write_shard_trace(
-    task: ShardTask, tracer, result: FaultSimResult, shard_started: float
+    task: ShardTask,
+    tracer: Optional["RecordingTracer"],
+    result: FaultSimResult,
+    shard_started: float,
 ) -> None:
     """Append this shard's span tree (and optional event stream) to the
     trace directory.  The shard span carries the work counters so the
@@ -217,7 +226,7 @@ def _write_shard_trace(
         _emit_cycle_range_spans(
             writer, shard_ctx, getattr(tracer, "cycle_clock", []), time.time()
         )
-        if task.record_events and getattr(tracer, "records", None):
+        if task.record_events and tracer is not None and tracer.records:
             from repro.obs.export import write_jsonl_trace
 
             events_path = os.path.join(

@@ -37,7 +37,7 @@ against (the contract of :mod:`repro.robust.budget`, lifted to campaigns).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import Telemetry
 from repro.result import FaultSimResult, MemoryStats, WorkCounters
@@ -98,7 +98,7 @@ def merge_telemetry(parts: Sequence[Optional[Telemetry]]) -> Optional[Telemetry]
     recorded = [part for part in parts if part is not None]
     if not recorded:
         return None
-    rows: List[Dict[str, object]] = []
+    rows: List[Dict[str, Any]] = []
     depth_of_row: List[Dict[int, int]] = []
     for part in recorded:
         for position, row in enumerate(part.cycles):

@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import os
 import time
-from typing import List, Optional
+from typing import List, Optional, Protocol, Sequence
 
 import json
 
 from repro.circuit.netlist import Circuit
 from repro.concurrent.options import SimOptions
+from repro.faults.model import Fault
 from repro.faults.transition import all_transition_faults
 from repro.faults.universe import stuck_at_universe
 from repro.obs.span import SpanWriter, TraceContext
@@ -53,6 +54,12 @@ from repro.robust.budget import Budget
 from repro.robust.checkpoint import CampaignInterrupted
 
 
+class ShardExecutor(Protocol):
+    """What ``run_parallel`` needs from an executor: run tasks, in order."""
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[FaultSimResult]: ...
+
+
 def shard_checkpoint_path(base: str, index: int, total: int) -> str:
     """The per-shard checkpoint file under a campaign's base path."""
     return f"{base}.shard{index:02d}-of-{total:02d}"
@@ -60,7 +67,7 @@ def shard_checkpoint_path(base: str, index: int, total: int) -> str:
 
 def plan_shards(
     circuit: Circuit,
-    faults,
+    faults: Optional[Sequence[Fault]],
     jobs: int,
     shard_strategy: str = "round-robin",
     overshard: int = DEFAULT_OVERSHARD,
@@ -82,7 +89,7 @@ def run_parallel(
     engine: str = "csim-MV",
     *,
     transition: bool = False,
-    faults=None,
+    faults: Optional[Sequence[Fault]] = None,
     options: Optional[SimOptions] = None,
     jobs: int = 1,
     shard_strategy: str = "round-robin",
@@ -92,11 +99,12 @@ def run_parallel(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     checkpoint_every: int = 64,
-    executor=None,
+    executor: Optional[ShardExecutor] = None,
     trace_dir: Optional[str] = None,
     trace_ctx: Optional[TraceContext] = None,
     record_events: bool = False,
     word_width: Optional[int] = None,
+    fingerprint_extra: tuple = (),
 ) -> FaultSimResult:
     """Run one fault-simulation campaign sharded over *jobs* workers.
 
@@ -171,7 +179,13 @@ def run_parallel(
                 resume=resume and path is not None and os.path.exists(path),
                 checkpoint_every=checkpoint_every,
                 strategy=shard_strategy,
-                fingerprint_extra=("shard", shard_strategy, index, total),
+                fingerprint_extra=(
+                    *fingerprint_extra,
+                    "shard",
+                    shard_strategy,
+                    index,
+                    total,
+                ),
                 trace_dir=trace_dir,
                 trace_parent=trace_ctx,
                 record_events=record_events,

@@ -11,9 +11,12 @@ of interpreter noise, and a memory model in the units the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.faults.model import Fault
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import Telemetry
 
 
 @dataclass
@@ -98,9 +101,10 @@ class FaultSimResult:
     #: engine (see ``repro.vector``); empty for every other engine.
     axis_windows: Dict[str, int] = field(default_factory=dict)
     #: Recorded run telemetry (:class:`repro.obs.Telemetry`) when the run
-    #: was traced with a recording tracer; None otherwise.  Typed loosely
-    #: so this module stays import-light (obs imports result, not back).
-    telemetry: Optional[object] = None
+    #: was traced with a recording tracer; None otherwise.  The import is
+    #: type-checking-only so this module stays import-light at runtime
+    #: (obs imports result, not back).
+    telemetry: Optional[Telemetry] = None
 
     @property
     def num_detected(self) -> int:

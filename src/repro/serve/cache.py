@@ -60,10 +60,17 @@ def cache_key(
         "faults": sorted(
             f"{fault.gate}:{fault.pin}:{fault.kind.value}" for fault in faults
         ),
+        # ``collapse`` joins the key even though an expanded result matches
+        # a full-universe run: the *faults* field above holds the resolved
+        # list (representatives under collapse), so without the option a
+        # collapsed and an uncollapsed submission over coincidentally equal
+        # lists could alias.  ``sanitize`` is deliberately absent — like
+        # ``word_width`` it can never change detections, only check them.
         "options": {
             "engine": spec.engine_label(),
             "transition": spec.transition,
             "prune_untestable": spec.prune_untestable,
+            "collapse": spec.collapse,
             "max_cycles": spec.max_cycles,
         },
     }

@@ -733,6 +733,22 @@ class FaultSimService:
             simulate_wall = time.time()
             sim_ctx = root.child() if root is not None else None
             result = self._simulate(record, spec, resolved, sim_ctx, heartbeat)
+            if resolved.collapsed is not None:
+                # Representatives -> full universe, so the serialized blob
+                # is what a full-universe submission would have produced.
+                # Dominance proposals are oracle-confirmed before the blob
+                # can claim them.
+                if resolved.collapsed.implied_by:
+                    from repro.analyze import expand_verified
+
+                    result, _audit = expand_verified(
+                        resolved.circuit,
+                        resolved.tests.vectors,
+                        resolved.collapsed,
+                        result,
+                    )
+                else:
+                    result = resolved.collapsed.expand(result)
             self.metrics.phase("simulate", time.perf_counter() - simulate_started)
             if self.spans is not None and sim_ctx is not None:
                 self.spans.emit(
@@ -791,7 +807,8 @@ class FaultSimService:
                     self.config.retry_backoff_cap,
                     self.config.retry_backoff_base * (2.0 ** (record.attempts - 1)),
                 )
-                delay += random.uniform(0.0, self.config.retry_jitter)
+                # Jitter perturbs retry *scheduling* only, never results.
+                delay += random.uniform(0.0, self.config.retry_jitter)  # codelint: ok
                 record.state = "queued"
                 record.next_retry_at = time.time() + delay
                 self.store.save(record)
@@ -905,6 +922,23 @@ class FaultSimService:
             # also why deadline-truncated results are never cached.
             remaining = max(0.0, record.deadline_at - time.time())
             budget = (budget or Budget()).tightened(max_wall_seconds=remaining)
+        options = None
+        if spec.sanitize:
+            if spec.transition:
+                from repro.concurrent.options import SimOptions
+
+                options = SimOptions(split_lists=True, sanitize=True)
+            else:
+                from repro.harness.runner import engine_options
+
+                base = engine_options(spec.engine)
+                assert base is not None  # spec validation guarantees csim*
+                options = base.with_(sanitize=True)
+        fingerprint_extra = (
+            resolved.collapsed.fingerprint_material()
+            if resolved.collapsed is not None
+            else ()
+        )
         if spec.engine == "serial" and not spec.transition:
             # The serial oracle has no snapshot support: no checkpoints.
             from repro.harness.runner import run_stuck_at
@@ -931,6 +965,7 @@ class FaultSimService:
                 spec.engine,
                 transition=spec.transition,
                 faults=resolved.faults,
+                options=options,
                 jobs=spec.jobs,
                 shard_strategy=spec.shard_strategy,
                 budget=budget,
@@ -941,6 +976,7 @@ class FaultSimService:
                 trace_dir=self.config.trace_dir if trace_ctx is not None else None,
                 trace_ctx=trace_ctx,
                 word_width=spec.word_width,
+                fingerprint_extra=fingerprint_extra,
             )
         from repro.robust.runner import run_checkpointed
 
@@ -950,12 +986,14 @@ class FaultSimService:
             spec.engine,
             transition=spec.transition,
             faults=resolved.faults,
+            options=options,
             budget=budget,
             tracer=heartbeat,
             checkpoint_path=checkpoint_path,
             resume=resume,
             checkpoint_every=self.config.checkpoint_every,
             word_width=spec.word_width,
+            fingerprint_extra=fingerprint_extra,
         )
 
     def _note_resume(self, record: JobRecord, checkpoint_path: str) -> bool:

@@ -19,15 +19,18 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, List, Mapping, Optional, Tuple
 
 from repro.circuit.library import load as load_circuit
 from repro.circuit.netlist import Circuit, NetlistError
 from repro.circuit.bench import parse_bench
 from repro.faults.model import Fault
 from repro.faults.transition import all_transition_faults
-from repro.faults.universe import stuck_at_universe
-from repro.harness.runner import ENGINE_NAMES, WORD_ENGINES
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
+from repro.harness.runner import ENGINE_NAMES, WORD_ENGINES, engine_options
+
+if TYPE_CHECKING:
+    from repro.analyze.collapse import CollapsedUniverse
 from repro.parallel.sharding import STRATEGIES
 from repro.patterns.random_gen import random_sequence
 from repro.patterns.vectors import TestSequence, parse_vectors
@@ -78,6 +81,8 @@ _KNOWN_KEYS = frozenset(
         "engine",
         "transition",
         "prune_untestable",
+        "collapse",
+        "sanitize",
         "max_cycles",
         "jobs",
         "shard_strategy",
@@ -111,6 +116,18 @@ class JobSpec:
     engine: str = "csim-MV"
     transition: bool = False
     prune_untestable: bool = False
+    #: Collapse mode (``"equivalence"``/``"dominance"``) or ``None``.  The
+    #: job simulates class representatives of the full universe and the
+    #: result is expanded back before serialization, so the *blob* matches
+    #: an uncollapsed full-universe run — but the option still joins the
+    #: cache key (see :mod:`repro.serve.cache`): a collapsed and an
+    #: uncollapsed submission resolve different fault lists and must never
+    #: alias.
+    collapse: Optional[str] = None
+    #: Arm the fault-list invariant sanitizer (concurrent engines only).
+    #: Purely a self-check — it never changes detections — so, like
+    #: ``word_width``, it is *not* part of the cache identity.
+    sanitize: bool = False
     max_cycles: Optional[int] = None
     jobs: int = 1
     shard_strategy: str = "round-robin"
@@ -152,6 +169,17 @@ class JobSpec:
         jobs = _opt_int(payload, "jobs", 1)
         if jobs < 1:
             raise SpecError("'jobs' must be >= 1")
+        transition = _opt_bool(payload, "transition")
+        collapse = _opt_str(payload, "collapse")
+        if collapse is not None and collapse not in ("equivalence", "dominance"):
+            raise SpecError(
+                "'collapse' must be 'equivalence' or 'dominance'"
+            )
+        sanitize = _opt_bool(payload, "sanitize")
+        if sanitize and not transition and engine_options(engine) is None:
+            raise SpecError(
+                f"'sanitize' requires a concurrent engine (csim*), not {engine!r}"
+            )
         random_patterns = _opt_int(payload, "random_patterns", 64)
         if random_patterns < 1:
             raise SpecError("'random_patterns' must be >= 1")
@@ -191,8 +219,10 @@ class JobSpec:
             random_patterns=random_patterns,
             seed=_opt_int(payload, "seed", 1992),
             engine=engine,
-            transition=_opt_bool(payload, "transition"),
+            transition=transition,
             prune_untestable=_opt_bool(payload, "prune_untestable"),
+            collapse=collapse,
+            sanitize=sanitize,
             max_cycles=max_cycles,
             jobs=jobs,
             shard_strategy=strategy,
@@ -223,6 +253,10 @@ class JobSpec:
         else:
             payload["random_patterns"] = self.random_patterns
             payload["seed"] = self.seed
+        if self.collapse is not None:
+            payload["collapse"] = self.collapse
+        if self.sanitize:
+            payload["sanitize"] = self.sanitize
         if self.max_cycles is not None:
             payload["max_cycles"] = self.max_cycles
         if self.idempotency_key is not None:
@@ -258,12 +292,18 @@ class JobSpec:
 
 @dataclass
 class ResolvedJob:
-    """A spec materialized into engine-ready objects."""
+    """A spec materialized into engine-ready objects.
+
+    With ``spec.collapse`` set, ``faults`` holds the class
+    *representatives* and ``collapsed`` the expansion map the worker
+    applies to the finished result before serialization.
+    """
 
     spec: JobSpec
     circuit: Circuit
     tests: TestSequence
     faults: List[Fault] = field(default_factory=list)
+    collapsed: Optional["CollapsedUniverse"] = None
 
 
 class SpecResolver:
@@ -279,6 +319,9 @@ class SpecResolver:
             raise ValueError("resolver capacity must be >= 1")
         self.capacity = capacity
         self._circuits: "OrderedDict[Tuple[object, ...], Circuit]" = OrderedDict()
+        self._collapses: "OrderedDict[Tuple[object, ...], CollapsedUniverse]" = (
+            OrderedDict()
+        )
         self.loads = 0
 
     def circuit_for(self, spec: JobSpec) -> Circuit:
@@ -315,13 +358,63 @@ class SpecResolver:
                 raise SpecError("'vectors' contains no vectors")
         else:
             tests = random_sequence(circuit, spec.random_patterns, seed=spec.seed)
-        universe: List[Fault] = list(
-            all_transition_faults(circuit)
-            if spec.transition
-            else stuck_at_universe(circuit)
-        )
+        if spec.collapse is not None:
+            # Collapsing targets the *full* universe: the job simulates the
+            # representatives and the worker expands the result back, so
+            # the serialized blob matches a full-universe run exactly.
+            universe = list(
+                all_transition_faults(circuit)
+                if spec.transition
+                else all_stuck_at_faults(circuit)
+            )
+        else:
+            universe = list(
+                all_transition_faults(circuit)
+                if spec.transition
+                else stuck_at_universe(circuit)
+            )
         if spec.prune_untestable:
             from repro.analyze import prune_untestable
 
             universe = list(prune_untestable(circuit, universe).kept)
-        return ResolvedJob(spec=spec, circuit=circuit, tests=tests, faults=universe)
+        collapsed: Optional["CollapsedUniverse"] = None
+        if spec.collapse is not None:
+            collapsed = self._collapsed_for(spec, circuit, universe)
+            universe = list(collapsed.representatives)
+        return ResolvedJob(
+            spec=spec,
+            circuit=circuit,
+            tests=tests,
+            faults=universe,
+            collapsed=collapsed,
+        )
+
+    def _collapsed_for(
+        self, spec: JobSpec, circuit: Circuit, universe: List[Fault]
+    ) -> "CollapsedUniverse":
+        """The collapse map for one spec, memoized with the circuit LRU.
+
+        The map is a pure function of the circuit source and the analysis
+        options, so batched queue-mates sharing a parsed circuit share its
+        collapse map too — the static pass runs once per batch, not once
+        per job.
+        """
+        key = spec.circuit_source() + (
+            spec.transition,
+            spec.prune_untestable,
+            spec.collapse,
+        )
+        cached = self._collapses.get(key)
+        if cached is not None:
+            self._collapses.move_to_end(key)
+            return cached
+        from repro.analyze import collapse_universe
+
+        assert spec.collapse is not None
+        collapsed = collapse_universe(
+            circuit, universe, mode=spec.collapse, transition=spec.transition
+        )
+        self._collapses[key] = collapsed
+        while len(self._collapses) > self.capacity:
+            self._collapses.popitem(last=False)
+        return collapsed

@@ -106,6 +106,10 @@ def test_write_bench_json_emits_schema(tmp_path):
             "bench_prune_untestable",
             ["--quick", "--circuits", "prunable12", "--patterns", "8"],
         ),
+        (
+            "bench_fault_collapse",
+            ["--quick", "--circuits", "s27", "--patterns", "8"],
+        ),
     ],
 )
 def test_standalone_bench_emits_valid_json(tmp_path, module_name, argv):

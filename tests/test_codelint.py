@@ -1,0 +1,96 @@
+"""The AST determinism lint: rules, suppression, and the clean tree."""
+
+import subprocess
+import sys
+
+from repro.analyze.codelint import (
+    HOT_PATH_PACKAGES,
+    ORDERED_MERGE_PACKAGES,
+    SUPPRESS_MARKER,
+    lint_paths,
+    lint_source,
+)
+
+HOT = f"src/repro/{HOT_PATH_PACKAGES[0]}/engine.py"
+MERGE = f"src/repro/{ORDERED_MERGE_PACKAGES[0]}/merge.py"
+NEUTRAL = "src/repro/harness/runner.py"
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestUnseededRandom:
+    def test_global_random_flagged(self):
+        findings = lint_source("import random\nx = random.random()\n", NEUTRAL)
+        assert rules(findings) == ["unseeded-random"]
+        assert findings[0].line == 2
+
+    def test_seeded_generator_clean(self):
+        source = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert lint_source(source, NEUTRAL) == []
+
+    def test_suppression_marker_waives(self):
+        source = f"import random\nx = random.uniform(0, 1)  {SUPPRESS_MARKER}\n"
+        assert lint_source(source, NEUTRAL) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_hot_path(self):
+        source = "import time\nt = time.time()\n"
+        assert rules(lint_source(source, HOT)) == ["wall-clock"]
+
+    def test_perf_counter_allowed_in_hot_path(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert lint_source(source, HOT) == []
+
+    def test_time_time_allowed_outside_hot_path(self):
+        source = "import time\nt = time.time()\n"
+        assert lint_source(source, NEUTRAL) == []
+
+    def test_datetime_now_flagged_in_hot_path(self):
+        source = "import datetime\nt = datetime.datetime.now()\n"
+        assert rules(lint_source(source, HOT)) == ["wall-clock"]
+
+
+class TestUnorderedMerge:
+    def test_set_iteration_flagged_in_merge_layer(self):
+        source = "for item in {3, 1, 2}:\n    print(item)\n"
+        assert rules(lint_source(source, MERGE)) == ["unordered-merge"]
+
+    def test_set_call_iteration_flagged(self):
+        source = "for item in set(items):\n    print(item)\n"
+        assert rules(lint_source(source, MERGE)) == ["unordered-merge"]
+
+    def test_set_union_comprehension_flagged(self):
+        source = "out = [x for x in set(a) | set(b)]\n"
+        assert rules(lint_source(source, MERGE)) == ["unordered-merge"]
+
+    def test_sorted_set_iteration_clean(self):
+        source = "for item in sorted(set(items)):\n    print(item)\n"
+        assert lint_source(source, MERGE) == []
+
+    def test_set_iteration_allowed_outside_merge_layers(self):
+        source = "for item in set(items):\n    print(item)\n"
+        assert lint_source(source, NEUTRAL) == []
+
+
+class TestTree:
+    def test_src_tree_is_clean(self):
+        assert lint_paths(["src/repro"]) == []
+
+    def test_module_entry_point_exit_status(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.choice([1, 2])\n")
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.analyze.codelint", str(bad)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert process.returncode == 1
+        assert "unseeded-random" in process.stdout
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", NEUTRAL)
+        assert rules(findings) == ["syntax-error"]

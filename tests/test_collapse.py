@@ -1,0 +1,416 @@
+"""Structural fault collapsing: exactness, composition and serve parity.
+
+The contract under test (see ``repro.analyze.collapse``): simulating only
+the equivalence-class representatives of the *full* stuck-at universe and
+expanding the detections back through the class map is bit-identical to
+simulating the full universe — per engine, per shard count, with and
+without untestable-fault pruning, and across a kill/resume.  Dominance
+proposals are confirmed against the serial oracle before expansion may
+claim them, so dominance never over-claims either.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analyze import (
+    CollapseAuditError,
+    audit_expansion,
+    collapse_universe,
+    expand_verified,
+)
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.faults.transition import all_transition_faults
+from repro.faults.universe import all_stuck_at_faults, stuck_at_universe
+from repro.harness.runner import run_stuck_at, run_transition
+from repro.parallel import run_parallel
+from repro.patterns.random_gen import random_sequence
+from repro.robust.budget import Budget
+from repro.robust.runner import run_checkpointed
+
+
+def _same_detections(left, right):
+    assert left.detected == right.detected
+    assert left.potentially_detected == right.potentially_detected
+    assert left.num_faults == right.num_faults
+
+
+class TestClasses:
+    def test_full_universe_classes_match_legacy_collapse(self):
+        """The legacy pre-collapsed universe is exactly the equivalence
+        representatives of the full universe (paper Table 2 consistency)."""
+        for name in ("s27", "s298", "s641"):
+            circuit = load(name)
+            collapsed = collapse_universe(circuit)
+            assert sorted(collapsed.representatives) == sorted(
+                stuck_at_universe(circuit)
+            )
+
+    def test_map_covers_universe_and_reps_are_fixed_points(self, s27):
+        collapsed = collapse_universe(s27)
+        universe = set(all_stuck_at_faults(s27))
+        assert set(collapsed.universe) == universe
+        assert set(collapsed.member_to_rep) == universe
+        reps = set(collapsed.representatives)
+        assert reps <= universe
+        for member, rep in collapsed.member_to_rep.items():
+            assert rep in reps
+        for rep in reps:
+            assert collapsed.member_to_rep[rep] == rep
+
+    def test_ratio_meets_acceptance_floor(self):
+        """>= 30% reduction on at least two library circuits."""
+        ratios = {
+            name: collapse_universe(load(name)).ratio for name in ("s27", "s298")
+        }
+        assert all(ratio >= 0.30 for ratio in ratios.values()), ratios
+
+    def test_dominance_collapses_strictly_more(self, s27):
+        equivalence = collapse_universe(s27, mode="equivalence")
+        dominance = collapse_universe(s27, mode="dominance")
+        assert dominance.num_representatives < equivalence.num_representatives
+        assert dominance.implied_by and not equivalence.implied_by
+        assert dominance.num_conservative > 0
+
+    def test_fingerprints_distinguish_modes(self, s27):
+        equivalence = collapse_universe(s27, mode="equivalence")
+        dominance = collapse_universe(s27, mode="dominance")
+        assert equivalence.fingerprint_material() != dominance.fingerprint_material()
+        again = collapse_universe(s27, mode="equivalence")
+        assert again.fingerprint_material() == equivalence.fingerprint_material()
+
+    def test_unknown_mode_rejected(self, s27):
+        with pytest.raises(ValueError, match="mode"):
+            collapse_universe(s27, mode="bogus")
+
+    def test_transition_collapse_projects_onto_universe(self, s27):
+        collapsed = collapse_universe(s27, transition=True)
+        universe = set(all_transition_faults(s27))
+        assert set(collapsed.universe) == universe
+        assert set(collapsed.representatives) <= universe
+        assert collapsed.num_representatives <= collapsed.num_universe
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("engine", ["csim", "csim-MV", "PROOFS", "vsim"])
+    def test_equivalence_expansion_exact_per_engine(self, engine):
+        circuit = load("s298")
+        tests = random_sequence(circuit, 48, seed=7)
+        universe = list(all_stuck_at_faults(circuit))
+        reference = run_stuck_at(circuit, tests, engine, faults=universe)
+        collapsed = collapse_universe(circuit, universe)
+        reps = run_stuck_at(
+            circuit, tests, engine, faults=list(collapsed.representatives)
+        )
+        _same_detections(reference, collapsed.expand(reps))
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_equivalence_composes_with_jobs(self, jobs):
+        circuit = load("s298")
+        tests = random_sequence(circuit, 40, seed=11)
+        universe = list(all_stuck_at_faults(circuit))
+        reference = run_stuck_at(circuit, tests, "csim-MV", faults=universe)
+        collapsed = collapse_universe(circuit, universe)
+        reps = run_parallel(
+            circuit,
+            tests,
+            "csim-MV",
+            faults=list(collapsed.representatives),
+            jobs=jobs,
+        )
+        _same_detections(reference, collapsed.expand(reps))
+
+    def test_equivalence_composes_with_prune(self):
+        from repro.analyze import prune_untestable
+
+        circuit = load("s298")
+        tests = random_sequence(circuit, 40, seed=5)
+        pruned = list(prune_untestable(circuit, all_stuck_at_faults(circuit)).kept)
+        reference = run_stuck_at(circuit, tests, "csim-MV", faults=pruned)
+        collapsed = collapse_universe(circuit, pruned)
+        reps = run_stuck_at(
+            circuit, tests, "csim-MV", faults=list(collapsed.representatives)
+        )
+        _same_detections(reference, collapsed.expand(reps))
+
+    def test_transition_expansion_exact(self, s27, s27_tests):
+        reference = run_transition(s27, s27_tests)
+        collapsed = collapse_universe(s27, transition=True)
+        reps = run_transition(
+            s27, s27_tests, faults=list(collapsed.representatives)
+        )
+        _same_detections(reference, collapsed.expand(reps))
+
+    def test_dominance_never_overclaims_and_is_cycle_exact(self):
+        circuit = load("s298")
+        tests = random_sequence(circuit, 48, seed=7)
+        universe = list(all_stuck_at_faults(circuit))
+        reference = run_stuck_at(circuit, tests, "csim-MV", faults=universe)
+        collapsed = collapse_universe(circuit, universe, mode="dominance")
+        reps = run_stuck_at(
+            circuit, tests, "csim-MV", faults=list(collapsed.representatives)
+        )
+        expanded, report = expand_verified(
+            circuit, tests.vectors, collapsed, reps
+        )
+        # Never a false detection, and confirmed claims carry the exact
+        # cycle; possibly fewer faults (impliers the vectors missed).
+        assert set(expanded.detected.items()) <= set(reference.detected.items())
+        assert expanded.num_faults == reference.num_faults
+        assert report.checked > 0
+        assert report.confirmed + len(report.refuted) <= report.checked
+        audit = audit_expansion(
+            circuit, tests.vectors, collapsed, reps, sample=6, strict=True
+        )
+        assert audit.ok and audit.checked > 0
+
+    def test_unverified_dominance_expand_refused(self, s27):
+        collapsed = collapse_universe(s27, mode="dominance")
+        tests = random_sequence(s27, 10, seed=3)
+        reps = run_stuck_at(
+            s27, tests, "csim-MV", faults=list(collapsed.representatives)
+        )
+        with pytest.raises(ValueError, match="expand_verified"):
+            collapsed.expand(reps)
+
+    def _doctor_in_false_proposal(self, circuit, tests):
+        """A collapse map whose implied_by claims an undetectable fault."""
+        import dataclasses
+
+        collapsed = collapse_universe(circuit, mode="dominance")
+        reps = run_stuck_at(
+            circuit, tests, "csim-MV", faults=list(collapsed.representatives)
+        )
+        detected_reps = [f for f in collapsed.representatives if f in reps.detected]
+        undetected = [
+            f
+            for f in collapsed.representatives
+            if f not in reps.detected and f not in reps.potentially_detected
+        ]
+        if not detected_reps or not undetected:
+            pytest.skip("workload detects everything or nothing")
+        doctored = dict(collapsed.implied_by)
+        doctored[undetected[0]] = (detected_reps[0],)
+        pruned_map = {
+            member: rep
+            for member, rep in collapsed.member_to_rep.items()
+            if member != undetected[0]
+        }
+        bogus = dataclasses.replace(
+            collapsed, implied_by=doctored, member_to_rep=pruned_map
+        )
+        return bogus, reps, undetected[0]
+
+    def test_audit_strict_raises_on_refutation(self, s27, s27_tests):
+        """A doctored implied_by entry must be caught by the oracle."""
+        bogus, reps, _victim = self._doctor_in_false_proposal(s27, s27_tests)
+        with pytest.raises(CollapseAuditError):
+            audit_expansion(
+                s27, s27_tests.vectors, bogus, reps, sample=0, strict=True
+            )
+
+    def test_verified_expansion_drops_refuted_proposals(self, s27, s27_tests):
+        """The same doctored claim never reaches the expanded result."""
+        bogus, reps, victim = self._doctor_in_false_proposal(s27, s27_tests)
+        expanded, report = expand_verified(s27, s27_tests.vectors, bogus, reps)
+        assert victim in report.refuted
+        assert victim not in expanded.detected
+
+
+class TestResume:
+    def test_kill_resume_with_collapse_bit_identical(self, tmp_path):
+        circuit = load("s298")
+        tests = random_sequence(circuit, 48, seed=9)
+        universe = list(all_stuck_at_faults(circuit))
+        reference = run_stuck_at(circuit, tests, "csim-MV", faults=universe)
+        collapsed = collapse_universe(circuit, universe)
+        path = str(tmp_path / "ck.pkl")
+        partial = run_checkpointed(
+            circuit,
+            tests,
+            "csim-MV",
+            faults=list(collapsed.representatives),
+            budget=Budget(max_cycles=16),
+            checkpoint_path=path,
+            checkpoint_every=4,
+            fingerprint_extra=collapsed.fingerprint_material(),
+        )
+        assert partial.truncated
+        resumed = run_checkpointed(
+            circuit,
+            tests,
+            "csim-MV",
+            faults=list(collapsed.representatives),
+            checkpoint_path=path,
+            resume=True,
+            fingerprint_extra=collapsed.fingerprint_material(),
+        )
+        _same_detections(reference, collapsed.expand(resumed))
+
+    def test_resume_refused_across_collapse_modes(self, tmp_path):
+        from repro.robust.checkpoint import CheckpointError
+
+        circuit = load("s27")
+        tests = random_sequence(circuit, 30, seed=2)
+        equivalence = collapse_universe(circuit, mode="equivalence")
+        dominance = collapse_universe(circuit, mode="dominance")
+        path = str(tmp_path / "ck.pkl")
+        run_checkpointed(
+            circuit,
+            tests,
+            "csim-MV",
+            faults=list(equivalence.representatives),
+            checkpoint_path=path,
+            fingerprint_extra=equivalence.fingerprint_material(),
+        )
+        with pytest.raises(CheckpointError):
+            run_checkpointed(
+                circuit,
+                tests,
+                "csim-MV",
+                faults=list(dominance.representatives),
+                checkpoint_path=path,
+                resume=True,
+                fingerprint_extra=dominance.fingerprint_material(),
+            )
+
+
+class TestProperty:
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        seed=st.integers(0, 2**20),
+        num_gates=st.integers(5, 16),
+        num_dffs=st.integers(0, 3),
+        engine=st.sampled_from(["csim", "csim-MV", "vsim"]),
+        jobs=st.sampled_from([1, 2]),
+        prune=st.booleans(),
+    )
+    def test_collapse_then_expand_is_identity(
+        self, seed, num_gates, num_dffs, engine, jobs, prune
+    ):
+        circuit = random_circuit(
+            random.Random(seed),
+            num_inputs=3,
+            num_gates=num_gates,
+            num_dffs=num_dffs,
+            num_outputs=2,
+            name=f"col{seed}",
+        )
+        tests = random_sequence(circuit, 10, seed=seed)
+        universe = list(all_stuck_at_faults(circuit))
+        if prune:
+            from repro.analyze import prune_untestable
+
+            universe = list(prune_untestable(circuit, universe).kept)
+        reference = run_parallel(
+            circuit, tests, engine, faults=universe, jobs=jobs
+        )
+        collapsed = collapse_universe(circuit, universe)
+        reps = run_parallel(
+            circuit,
+            tests,
+            engine,
+            faults=list(collapsed.representatives),
+            jobs=jobs,
+        )
+        _same_detections(reference, collapsed.expand(reps))
+
+
+class TestCli:
+    def test_simulate_collapse_matches_plain_full_universe(self, capsys):
+        from repro.cli import main
+
+        base = ["simulate", "s298", "--random-patterns", "30", "--seed", "4"]
+        assert main(base + ["--collapse"]) == 0
+        collapsed_out = capsys.readouterr()
+        assert main(base + ["--collapse", "dominance", "--jobs", "2"]) == 0
+        dominance_out = capsys.readouterr()
+        assert "collapse[equivalence]" in collapsed_out.err
+        assert "collapse[dominance]" in dominance_out.err
+        assert "collapse audit" in dominance_out.err
+
+    def test_stats_reports_collapse_ratios(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "s298"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence collapse ratio" in out
+        assert "dominance representatives" in out
+
+
+class TestServeParity:
+    def _service(self, tmp_path):
+        from repro.serve import FaultSimService, ServeConfig
+
+        return FaultSimService(
+            ServeConfig(state_dir=str(tmp_path / "state"), workers=0)
+        )
+
+    def test_collapse_job_blob_matches_full_universe_run(self, tmp_path):
+        from repro.logic.values import value_to_char
+        from repro.serve import serialize_result
+
+        circuit = load("s298")
+        tests = random_sequence(circuit, 40, seed=13)
+        vectors = (
+            "\n".join(
+                "".join(value_to_char(v) for v in vector) for vector in tests
+            )
+            + "\n"
+        )
+        service = self._service(tmp_path)
+        record, _ = service.submit(
+            {"circuit": "s298", "vectors": vectors, "collapse": "equivalence"}
+        )
+        assert service.drain() == 1
+        blob = service.result_bytes(record.job_id)
+        reference = run_stuck_at(
+            circuit, tests, "csim-MV", faults=list(all_stuck_at_faults(circuit))
+        )
+        assert blob == serialize_result(reference, circuit)
+
+    def test_cache_key_separates_collapse_but_not_sanitize(self, tmp_path):
+        service = self._service(tmp_path)
+        base = {"circuit": "s27", "random_patterns": 20, "seed": 1}
+        plain, _ = service.submit(dict(base))
+        equivalence, _ = service.submit(dict(base, collapse="equivalence"))
+        dominance, _ = service.submit(dict(base, collapse="dominance"))
+        sanitized, _ = service.submit(dict(base, sanitize=True))
+        keys = {
+            service.store.get(record.job_id).cache_key
+            for record in (plain, equivalence, dominance)
+        }
+        assert len(keys) == 3
+        assert (
+            service.store.get(sanitized.job_id).cache_key
+            == service.store.get(plain.job_id).cache_key
+        )
+
+    def test_bad_spec_options_rejected(self, tmp_path):
+        from repro.serve import SpecError
+
+        service = self._service(tmp_path)
+        with pytest.raises(SpecError, match="collapse"):
+            service.submit({"circuit": "s27", "collapse": "bogus"})
+        with pytest.raises(SpecError, match="sanitize"):
+            service.submit(
+                {"circuit": "s27", "engine": "PROOFS", "sanitize": True}
+            )
+
+    def test_spec_roundtrips_new_options(self):
+        from repro.serve.spec import JobSpec
+
+        payload = {
+            "circuit": "s27",
+            "random_patterns": 10,
+            "collapse": "dominance",
+            "sanitize": True,
+        }
+        spec = JobSpec.from_payload(payload)
+        assert spec.collapse == "dominance" and spec.sanitize
+        again = JobSpec.from_payload(spec.to_payload())
+        assert again.collapse == "dominance" and again.sanitize
