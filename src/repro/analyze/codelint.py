@@ -87,9 +87,9 @@ _GLOBAL_RANDOM_FNS = frozenset(
 #: to measure wall time because canonical results exclude it.
 HOT_PATH_PACKAGES = ("concurrent", "vector", "baselines", "logic", "sim")
 
-#: Packages where iteration order becomes output order: shard merging and
-#: result serialization.
-ORDERED_MERGE_PACKAGES = ("parallel", "serve")
+#: Packages where iteration order becomes output order: shard merging,
+#: result serialization, and dictionary-artifact encoding.
+ORDERED_MERGE_PACKAGES = ("parallel", "serve", "diagnosis")
 
 #: ``set`` methods that return sets; iterating their result directly is
 #: just as order-dependent as iterating a literal.

@@ -50,7 +50,7 @@ from repro.faults.model import OUTPUT_PIN, Fault, StuckAtFault
 from repro.faults.transition import TransitionFault, all_transition_faults
 from repro.faults.universe import all_stuck_at_faults
 from repro.logic.tables import GateType
-from repro.result import FaultSimResult
+from repro.result import Failure, FaultSimResult
 
 #: Recognised collapse modes, least to most aggressive.
 COLLAPSE_MODES = ("equivalence", "dominance")
@@ -297,6 +297,31 @@ class CollapsedUniverse:
             detected=self._expand_map(result.detected),
             potentially_detected=self._expand_map(result.potentially_detected),
         )
+
+    def expand_responses(
+        self, responses: Dict[Fault, Tuple[Failure, ...]]
+    ) -> Dict[Fault, Tuple[Failure, ...]]:
+        """Rewrite a representatives-only response map onto the universe.
+
+        Equivalent machines are identical, so every class member inherits
+        its representative's full failing-response tuple verbatim — the
+        exactness theorem that makes collapsed fault dictionaries
+        bit-identical to full-universe ones.  Dominance maps are refused
+        outright: dominance argues *detection*, never the response shape,
+        so a dictionary built over a dominance-collapsed universe would
+        attribute the dominator's responses to faults that fail
+        differently.  The result is keyed in sorted fault order.
+        """
+        if self.implied_by:
+            raise ValueError(
+                "fault-dictionary responses cannot be expanded through "
+                "dominance; build dictionaries with equivalence collapsing"
+            )
+        expanded: Dict[Fault, Tuple[Failure, ...]] = {}
+        for member in self.universe:
+            rep = self.member_to_rep[member]
+            expanded[member] = responses.get(rep, ())
+        return expanded
 
     def conservative_detections(self, result: FaultSimResult) -> Dict[Fault, int]:
         """Dominance detection *proposals*: fault -> earliest implier cycle.

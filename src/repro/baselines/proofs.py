@@ -36,13 +36,23 @@ from repro.faults.universe import stuck_at_universe
 from repro.logic.tables import GateType
 from repro.logic.values import ONE, X, ZERO, is_binary
 from repro.obs.tracer import Tracer
-from repro.result import FaultSimResult, MemoryStats, WorkCounters
+from repro.result import Failure, FaultSimResult, MemoryStats, WorkCounters
 from repro.sim.logicsim import LogicSimulator
 from repro.vector.packing import broadcast_word, evaluate_gate_word
 
 
 class ProofsSimulator:
-    """Word-parallel single-fault propagation fault simulator."""
+    """Word-parallel single-fault propagation fault simulator.
+
+    ``record_responses`` switches the simulator into dictionary-building
+    mode: detected faults are *not* dropped (they keep grouping and their
+    flip-flop diffs keep evolving), and every binary output mismatch is
+    recorded per fault as a ``(cycle, po_position)`` failure.  ``detected``
+    still reports first-detection cycles, identical to a dropping run.
+    """
+
+    #: Engine name reported on results (subclasses override).
+    engine_name = "PROOFS"
 
     def __init__(
         self,
@@ -50,6 +60,7 @@ class ProofsSimulator:
         faults: Optional[Iterable[StuckAtFault]] = None,
         word_size: int = 64,
         tracer: Optional[Tracer] = None,
+        record_responses: bool = False,
     ) -> None:
         if any(gate.gtype is GateType.MACRO for gate in circuit.gates):
             raise ValueError("PROOFS runs on flat circuits (no macro gates)")
@@ -59,6 +70,7 @@ class ProofsSimulator:
         )
         self.word_size = word_size
         self.tracer = tracer
+        self.record_responses = record_responses
         #: Stable fault ids for trace records (PROOFS has no descriptors).
         self._fault_ids: Dict[StuckAtFault, int] = {
             fault: fid for fid, fault in enumerate(self.faults)
@@ -74,6 +86,8 @@ class ProofsSimulator:
         self.ff_diffs: Dict[StuckAtFault, Dict[int, int]] = {
             fault: {} for fault in self.faults
         }
+        #: fault -> recorded failures (record_responses mode only).
+        self._responses: Dict[StuckAtFault, List[Failure]] = {}
         self.counters = WorkCounters()
         self.memory = MemoryStats(num_descriptors=len(self.faults))
 
@@ -97,6 +111,9 @@ class ProofsSimulator:
             "ff_diffs": {fault: dict(d) for fault, d in self.ff_diffs.items()},
             "counters": copy.copy(self.counters),
             "memory": copy.copy(self.memory),
+            "responses": {
+                fault: list(f) for fault, f in self._responses.items()
+            },
         }
 
     def restore(self, state: dict) -> None:
@@ -109,6 +126,10 @@ class ProofsSimulator:
         self.detected = dict(state["detected"])
         self.potentially_detected = dict(state["potential"])
         self.ff_diffs = {fault: dict(d) for fault, d in state["ff_diffs"].items()}
+        self._responses = {
+            fault: [tuple(f) for f in failures]
+            for fault, failures in state.get("responses", {}).items()
+        }
         self.counters = copy.copy(state["counters"])
         self.memory = copy.copy(state["memory"])
 
@@ -135,10 +156,12 @@ class ProofsSimulator:
         good_values = self.good.values
         good_outputs = self.good.sample_outputs()
 
+        record = self.record_responses
         active = [
             fault
             for fault in self.faults
-            if fault not in self.detected and self._is_active(fault, good_values)
+            if (record or fault not in self.detected)
+            and self._is_active(fault, good_values)
         ]
         newly: List[Fault] = []
         for group_start in range(0, len(active), self.word_size):
@@ -157,7 +180,7 @@ class ProofsSimulator:
     def run(self, vectors: Iterable[Sequence[int]], budget=None) -> FaultSimResult:
         trace = self.tracer
         if trace is not None:
-            trace.run_start("PROOFS", self.circuit.name)
+            trace.run_start(self.engine_name, self.circuit.name)
         clock = budget.start() if budget else None
         start = time.perf_counter()
         applied = 0
@@ -174,7 +197,7 @@ class ProofsSimulator:
             applied += 1
         elapsed = time.perf_counter() - start
         result = FaultSimResult(
-            engine="PROOFS",
+            engine=self.engine_name,
             circuit_name=self.circuit.name,
             num_faults=len(self.faults),
             num_vectors=applied,
@@ -185,11 +208,24 @@ class ProofsSimulator:
             wall_seconds=elapsed,
             truncated=truncation_reason is not None,
             truncation_reason=truncation_reason,
+            responses=(
+                self.responses_by_fault() if self.record_responses else None
+            ),
         )
         if trace is not None:
             trace.run_end(elapsed)
             result.telemetry = trace.telemetry()
         return result
+
+    def responses_by_fault(self) -> Dict[Fault, Tuple[Failure, ...]]:
+        """The recorded responses keyed by fault, in sorted-fault order.
+
+        Every simulated fault gets a key — an empty tuple means the fault
+        never produced a binary output mismatch over the applied vectors.
+        """
+        return {
+            fault: tuple(self._responses.get(fault, ())) for fault in self.faults
+        }
 
     # ------------------------------------------------------------------
     # activity filter
@@ -365,13 +401,21 @@ class ProofsSimulator:
                 slot = (mismatch & -mismatch).bit_length() - 1
                 mismatch &= mismatch - 1
                 fault = group[slot]
+                if self.record_responses:
+                    failures = self._responses.get(fault)
+                    if failures is None:
+                        failures = self._responses[fault] = []
+                    failures.append((self.cycle, po_position))
                 if fault not in self.detected:
                     self.detected[fault] = self.cycle
                     newly.append(fault)
                     if trace is not None:
-                        # PROOFS always drops: detected faults never regroup.
+                        # PROOFS always drops (detected faults never
+                        # regroup) — except in record_responses mode,
+                        # where nothing is ever dropped.
                         trace.detect(self._fault_ids[fault], self.cycle)
-                        trace.drop(self._fault_ids[fault], self.cycle)
+                        if not self.record_responses:
+                            trace.drop(self._fault_ids[fault], self.cycle)
 
         # Next-state faulty flip-flop diffs from the settled D words.  Only
         # flip-flops whose D cone was touched (or whose D pin is a fault
@@ -379,7 +423,7 @@ class ProofsSimulator:
         # the broadcast good value and contributes no diff.
         for slot, fault in enumerate(group):
             bit = 1 << slot
-            if fault in self.detected:
+            if fault in self.detected and not self.record_responses:
                 self.ff_diffs[fault].clear()
                 continue
             new_diffs: Dict[int, int] = {}

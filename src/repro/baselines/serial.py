@@ -21,7 +21,7 @@ from repro.faults.model import Fault, OUTPUT_PIN, StuckAtFault
 from repro.faults.transition import TransitionFault, all_transition_faults, delayed_value
 from repro.faults.universe import stuck_at_universe
 from repro.logic.values import X, is_binary
-from repro.result import FaultSimResult, MemoryStats, WorkCounters
+from repro.result import Failure, FaultSimResult, MemoryStats, WorkCounters
 from repro.sim.logicsim import LogicSimulator
 
 
@@ -43,8 +43,15 @@ def simulate_serial(
     drop_detected: bool = True,
     budget=None,
     tracer=None,
+    record_responses: bool = False,
 ) -> FaultSimResult:
     """Simulate every fault serially; returns the standard result record.
+
+    ``record_responses`` switches the run into dictionary-building mode:
+    dropping is disabled (every machine runs the full sequence), every
+    binary output mismatch is recorded as a ``(cycle, po_position)``
+    failure on ``result.responses``, and ``detected`` keeps *first*
+    detection cycles — identical to what a dropping run reports.
 
     A ``budget`` (:class:`repro.robust.budget.Budget`) bounds the run by
     wall clock only — the serial loop is per *fault*, not per cycle, so the
@@ -59,6 +66,8 @@ def simulate_serial(
     as every concurrent engine.
     """
     fault_list = sorted(faults) if faults is not None else stuck_at_universe(circuit)
+    if record_responses:
+        drop_detected = False
     clock = budget.start() if budget else None
     trace = tracer
     start = time.perf_counter()
@@ -80,6 +89,9 @@ def simulate_serial(
 
     detected: Dict[Fault, int] = {}
     potential: Dict[Fault, int] = {}
+    responses: Optional[Dict[Fault, Tuple[Failure, ...]]] = (
+        {} if record_responses else None
+    )
     truncation_reason = None
     for fid, fault in enumerate(fault_list):
         if clock is not None:
@@ -90,6 +102,7 @@ def simulate_serial(
                     trace.budget_breach(breach.kind, breach.limit, breach.actual)
                 break
         machine = LogicSimulator(circuit, fault)
+        failures: List[Failure] = []
         for cycle, vector in enumerate(vectors, start=1):
             outputs = machine.step(vector)
             counters.fault_evaluations += circuit.num_combinational
@@ -104,7 +117,20 @@ def simulate_serial(
                 potential[fault] = cycle
                 if trace is not None:
                     trace.detect(fid, cycle, potential=True)
-            if _binary_mismatch(good, outputs):
+            if record_responses:
+                hits = [
+                    (cycle, position)
+                    for position, (g, f) in enumerate(zip(good, outputs))
+                    if is_binary(g) and is_binary(f) and g != f
+                ]
+                if hits:
+                    failures.extend(hits)
+                    # First-detection semantics, matching a dropping run.
+                    if fault not in detected:
+                        detected[fault] = cycle
+                        if trace is not None:
+                            trace.detect(fid, cycle)
+            elif _binary_mismatch(good, outputs):
                 detected[fault] = cycle
                 if trace is not None:
                     trace.detect(fid, cycle)
@@ -112,6 +138,8 @@ def simulate_serial(
                     if trace is not None:
                         trace.drop(fid, cycle)
                     break
+        if responses is not None:
+            responses[fault] = tuple(failures)
 
     result = FaultSimResult(
         engine="serial",
@@ -127,6 +155,7 @@ def simulate_serial(
         wall_seconds=time.perf_counter() - start,
         truncated=truncation_reason is not None,
         truncation_reason=truncation_reason,
+        responses=responses,
     )
     if trace is not None:
         trace.run_end(result.wall_seconds)

@@ -7,6 +7,8 @@ Commands
 ``simulate``        stuck-at fault simulation with any engine
 ``transition``      transition-fault simulation (two-pass concurrent)
 ``generate-tests``  coverage-directed test generation
+``build-dictionary`` build a fault-dictionary artifact (full no-drop sim)
+``diagnose``        rank fault candidates for observed tester failures
 ``tables``          regenerate the paper's evaluation tables
 ``serve``           run the fault-simulation service (REST API + workers)
 ``inspect``         render a recorded trace directory (timeline, balance)
@@ -618,6 +620,143 @@ def cmd_transition(args) -> int:
     return 0
 
 
+def _parse_failures(kind: str, text: str):
+    """``--failures`` syntax -> validated observed failures.
+
+    Full-response queries are comma-separated ``CYCLE:OUTPUT`` pairs
+    (1-based cycle, 0-based primary-output position); pass/fail queries
+    are comma-separated failing cycle numbers.
+    """
+    from repro.diagnosis.store import parse_observed
+
+    items: list = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if kind == "full":
+            if ":" not in token:
+                raise ValueError(
+                    "--failures for a full-response dictionary takes "
+                    f"CYCLE:OUTPUT pairs, got {token!r}"
+                )
+            cycle, position = token.split(":", 1)
+            items.append([int(cycle), int(position)])
+        else:
+            items.append(int(token))
+    return parse_observed(kind, items)
+
+
+def _dictionary_for(args, circuit, tests):
+    """The query's dictionary: the ``--dictionary`` artifact if it exists,
+    else a fresh build — written back to the artifact path when given."""
+    from repro.diagnosis import build_responses
+    from repro.diagnosis.store import (
+        decode_dictionary,
+        encode_dictionary,
+        read_dictionary,
+        write_dictionary,
+    )
+
+    path = getattr(args, "dictionary", None)
+    if path and os.path.exists(path):
+        print(f"# dictionary: loaded from {path}", file=sys.stderr)
+        return decode_dictionary(read_dictionary(path), kind=args.kind)
+    collapse = None if args.no_collapse else "equivalence"
+    responses = build_responses(
+        circuit,
+        tests,
+        kind=args.kind,
+        engine=args.engine,
+        collapse=collapse,
+        jobs=args.jobs,
+        shard_strategy=args.shard_strategy,
+        checkpoint_path=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+        checkpoint_every=getattr(args, "checkpoint_every", 64),
+        budget=_make_budget(args) if hasattr(args, "max_seconds") else None,
+        word_width=_checked_word_width(args),
+    )
+    blob = encode_dictionary(
+        circuit.name, len(tests), responses, args.kind, collapse=collapse
+    )
+    if path:
+        write_dictionary(path, blob)
+        print(f"# dictionary: built and written to {path}", file=sys.stderr)
+    return decode_dictionary(blob)
+
+
+def cmd_build_dictionary(args) -> int:
+    """Build a fault dictionary and write it as a ``repro-dict/1`` artifact."""
+    _check_robust_args(args)
+    _check_parallel_args(args)
+    circuit = load(args.circuit, scale=args.scale)
+    tests = _load_tests(args, circuit)
+    from repro.diagnosis import build_responses
+    from repro.diagnosis.store import encode_dictionary, read_manifest, write_dictionary
+
+    collapse = None if args.no_collapse else "equivalence"
+    responses = build_responses(
+        circuit,
+        tests,
+        kind=args.kind,
+        engine=args.engine,
+        collapse=collapse,
+        jobs=args.jobs,
+        shard_strategy=args.shard_strategy,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+        budget=_make_budget(args),
+        word_width=_checked_word_width(args),
+    )
+    blob = encode_dictionary(
+        circuit.name, len(tests), responses, args.kind, collapse=collapse
+    )
+    write_dictionary(args.output, blob)
+    manifest = read_manifest(blob)
+    print(
+        f"{args.output}: dictionary[{manifest['kind']}] for "
+        f"{manifest['circuit']}: {manifest['num_detected']}/"
+        f"{manifest['num_faults']} faults detected over "
+        f"{manifest['num_vectors']} vectors ({len(blob)} bytes)"
+    )
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    """Rank dictionary candidates for observed failures; optionally explain.
+
+    Prints the canonical ``repro-diagnosis/1`` document — byte-identical
+    to what ``POST /diagnose`` returns for the same query.
+    """
+    _check_robust_args(args)
+    _check_parallel_args(args)
+    circuit = load(args.circuit, scale=args.scale)
+    tests = _load_tests(args, circuit)
+    from repro.diagnosis.store import diagnosis_report
+
+    observed = _parse_failures(args.kind, args.failures)
+    dictionary = _dictionary_for(args, circuit, tests)
+    body = diagnosis_report(
+        circuit,
+        tests,
+        dictionary,
+        observed,
+        top=args.top,
+        explain=args.explain,
+    )
+    sys.stdout.buffer.write(body)
+    sys.stdout.buffer.flush()
+    if args.explain:
+        import json as _json
+
+        document = _json.loads(body)
+        if "explain" in document:
+            print(f"\n{document['explain']['text']}", file=sys.stderr)
+    return 0
+
+
 def cmd_generate_tests(args) -> int:
     circuit = load(args.circuit, scale=args.scale)
     tests, coverage = generate_tests(
@@ -849,6 +988,96 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze_args(transition)
     transition.set_defaults(handler=cmd_transition)
 
+    def _add_dictionary_build_args(sub: argparse.ArgumentParser) -> None:
+        from repro.diagnosis import DICTIONARY_KINDS
+
+        sub.add_argument(
+            "--kind",
+            choices=DICTIONARY_KINDS,
+            default="full",
+            help="dictionary format: 'full' keeps (cycle, output) "
+            "resolution, 'passfail' only failing cycles (default full)",
+        )
+        sub.add_argument(
+            "--engine",
+            choices=ENGINE_NAMES,
+            default="csim-MV",
+            help="builder engine; every engine yields a bit-identical "
+            "dictionary (default csim-MV)",
+        )
+        sub.add_argument(
+            "--word-width",
+            type=int,
+            metavar="N",
+            help="machines packed per word for the word engines "
+            "(PROOFS/vsim): a power of two >= 8 (default 64)",
+        )
+        sub.add_argument(
+            "--no-collapse",
+            action="store_true",
+            help="simulate the full universe verbatim instead of "
+            "equivalence representatives (bit-identical, just slower)",
+        )
+
+    build_dict = commands.add_parser(
+        "build-dictionary",
+        help="build a fault-dictionary artifact by full (no-drop) fault "
+        "simulation over the collapsed universe",
+    )
+    _add_circuit_arg(build_dict)
+    _add_test_args(build_dict)
+    _add_dictionary_build_args(build_dict)
+    build_dict.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        metavar="FILE",
+        help="write the repro-dict/1 artifact here (atomic replace)",
+    )
+    _add_robust_args(build_dict)
+    _add_parallel_args(build_dict)
+    build_dict.set_defaults(handler=cmd_build_dictionary)
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="rank fault candidates for observed tester failures against "
+        "a fault dictionary (built on the fly or loaded from an artifact)",
+    )
+    _add_circuit_arg(diagnose)
+    _add_test_args(diagnose)
+    _add_dictionary_build_args(diagnose)
+    diagnose.add_argument(
+        "--failures",
+        required=True,
+        metavar="LIST",
+        help="observed failures: comma-separated CYCLE:OUTPUT pairs for "
+        "--kind full (1-based cycle, 0-based output position), or "
+        "comma-separated failing cycles for --kind passfail",
+    )
+    diagnose.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="candidates to rank (default 10)",
+    )
+    diagnose.add_argument(
+        "--explain",
+        action="store_true",
+        help="re-simulate the top candidate with the tracer and attach its "
+        "causal divergence chain (fault site -> first diverging gate per "
+        "cycle -> observed outputs); a rendering is printed to stderr",
+    )
+    diagnose.add_argument(
+        "--dictionary",
+        metavar="FILE",
+        help="dictionary artifact cache: loaded when FILE exists, "
+        "otherwise the built dictionary is written there",
+    )
+    _add_robust_args(diagnose)
+    _add_parallel_args(diagnose)
+    diagnose.set_defaults(handler=cmd_diagnose)
+
     gen = commands.add_parser(
         "generate-tests", help="coverage-directed test generation"
     )
@@ -1063,6 +1292,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CollapseAuditError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except RuntimeError as exc:
+        from repro.diagnosis import DictionaryBuildTruncated
+
+        if not isinstance(exc, DictionaryBuildTruncated):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        if getattr(args, "checkpoint", None):
+            print(
+                f"progress saved to {args.checkpoint}; resume with:\n"
+                f"  {_resume_hint(argv)}",
+                file=sys.stderr,
+            )
+        return 130
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; exit quietly like
         # standard Unix tools.  Detach stdout so interpreter shutdown

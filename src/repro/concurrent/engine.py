@@ -59,7 +59,7 @@ from repro.logic.tables import (
 )
 from repro.logic.values import X
 from repro.obs.tracer import Tracer
-from repro.result import FaultSimResult, MemoryStats, WorkCounters
+from repro.result import Failure, FaultSimResult, MemoryStats, WorkCounters
 
 #: Shared per-circuit evaluation tables.  Every engine instance over the
 #: same working circuit uses byte-identical tables, so they are built once
@@ -131,6 +131,13 @@ class ConcurrentFaultSimulator:
         Optional :class:`repro.obs.Tracer`.  ``None`` (the default) means
         no tracing: every hook site is a single local None-check, so an
         untraced run does no instrumentation work at all.
+    record_responses:
+        Dictionary-building mode: fault dropping is disabled (the
+        requested options are kept otherwise) and every binary output
+        mismatch is recorded per fault as a ``(cycle, po_position)``
+        failure, surfaced on ``result.responses``.  Detection cycles stay
+        identical to a dropping run (first detection is still what
+        ``detected`` reports).
     """
 
     def __init__(
@@ -140,8 +147,12 @@ class ConcurrentFaultSimulator:
         options: SimOptions = SimOptions(),
         macro=None,
         tracer: Optional[Tracer] = None,
+        record_responses: bool = False,
     ) -> None:
         self.original_circuit = circuit
+        self.record_responses = record_responses
+        if record_responses and options.drop_detected:
+            options = options.with_(drop_detected=False)
         self.options = options
         self.tracer = tracer
         universe = self._default_universe(circuit) if faults is None else faults
@@ -241,6 +252,8 @@ class ConcurrentFaultSimulator:
         self.cycle = 0
         self.detected: Dict[Fault, int] = {}
         self.potentially_detected: Dict[Fault, int] = {}
+        #: fid -> recorded failures, populated only in record_responses mode.
+        self._responses: Dict[int, List[Failure]] = {}
         self.counters = WorkCounters()
         self.memory = MemoryStats(
             num_descriptors=len(self.descriptors),
@@ -292,6 +305,7 @@ class ConcurrentFaultSimulator:
             "dirty_ffs": set(self._dirty_ffs),
             "counters": copy.copy(self.counters),
             "memory": copy.copy(self.memory),
+            "responses": {fid: list(f) for fid, f in self._responses.items()},
         }
 
     def restore(self, state: dict) -> None:
@@ -311,6 +325,10 @@ class ConcurrentFaultSimulator:
         self._live_elements = state["live"]
         self._next_cycle_gates = set(state["next_gates"])
         self._dirty_ffs = set(state["dirty_ffs"])
+        self._responses = {
+            fid: [tuple(f) for f in failures]
+            for fid, failures in state.get("responses", {}).items()
+        }
         import copy
 
         self.counters = copy.copy(state["counters"])
@@ -506,11 +524,25 @@ class ConcurrentFaultSimulator:
             wall_seconds=elapsed,
             truncated=truncation_reason is not None,
             truncation_reason=truncation_reason,
+            responses=(
+                self.responses_by_fault() if self.record_responses else None
+            ),
         )
         if trace is not None:
             trace.run_end(elapsed)
             result.telemetry = trace.telemetry()
         return result
+
+    def responses_by_fault(self) -> Dict[Fault, Tuple[Failure, ...]]:
+        """The recorded responses keyed by fault, in deterministic fid order.
+
+        Every simulated fault gets a key — an empty tuple means the fault
+        never produced a binary output mismatch over the applied vectors.
+        """
+        return {
+            descriptor.fault: tuple(self._responses.get(descriptor.fid, ()))
+            for descriptor in self.descriptors
+        }
 
     # ------------------------------------------------------------------
     # phases
@@ -847,7 +879,29 @@ class ConcurrentFaultSimulator:
                 trace.detect(fid, self.cycle)
                 if drop:
                     trace.drop(fid, self.cycle)
+        if self.record_responses:
+            self._record_cycle_responses()
         return newly
+
+    def _record_cycle_responses(self) -> None:
+        """Append this cycle's binary output mismatches to the responses.
+
+        A pure observation pass over the visible PO lists — it touches no
+        counters and fires no tracer hooks, so the counter/hook
+        reconciliation contract is unchanged by recording.
+        """
+        responses = self._responses
+        for po_position, po_index in enumerate(self.circuit.outputs):
+            good_value = self.good[po_index]
+            if good_value == X:
+                continue
+            for fid, value in self.vis[po_index].items():
+                if value == X or value == good_value:
+                    continue
+                failures = responses.get(fid)
+                if failures is None:
+                    failures = responses[fid] = []
+                failures.append((self.cycle, po_position))
 
     def _clock(self) -> None:
         """Two-phase flip-flop update from settled D values.

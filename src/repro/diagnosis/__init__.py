@@ -4,21 +4,62 @@ The classic downstream application of fast fault simulation: simulate the
 fault universe once against the production test set, record each fault's
 response signature, and later locate defects on failing silicon by matching
 observed tester responses against the dictionary.
+
+Layout:
+
+* :mod:`~repro.diagnosis.dictionary` — sharded, collapsed, checkpointed
+  dictionary construction through the standard campaign harness;
+* :mod:`~repro.diagnosis.store` — portable content-addressed artifacts
+  (``repro-dict/1``) and the canonical rankings serializer;
+* :mod:`~repro.diagnosis.locate` — ranking observed failures against a
+  dictionary;
+* :mod:`~repro.diagnosis.explain` — causal divergence chains for top
+  candidates, from the engine's traced event stream.
 """
 
 from repro.diagnosis.dictionary import (
+    DICTIONARY_KINDS,
+    DictionaryBuildTruncated,
     FaultDictionary,
     FullResponseDictionary,
     PassFailDictionary,
+    assemble_dictionary,
     build_dictionary,
+    build_responses,
 )
-from repro.diagnosis.locate import DiagnosisResult, diagnose
+from repro.diagnosis.explain import Explanation, explain_fault
+from repro.diagnosis.locate import Candidate, DiagnosisResult, diagnose
+from repro.diagnosis.store import (
+    decode_dictionary,
+    decode_responses,
+    diagnosis_report,
+    dictionary_fingerprint,
+    encode_dictionary,
+    parse_observed,
+    read_manifest,
+    serialize_rankings,
+)
 
 __all__ = [
+    "DICTIONARY_KINDS",
+    "DictionaryBuildTruncated",
     "FaultDictionary",
     "FullResponseDictionary",
     "PassFailDictionary",
+    "assemble_dictionary",
     "build_dictionary",
+    "build_responses",
+    "Candidate",
     "DiagnosisResult",
     "diagnose",
+    "Explanation",
+    "explain_fault",
+    "decode_dictionary",
+    "decode_responses",
+    "diagnosis_report",
+    "dictionary_fingerprint",
+    "encode_dictionary",
+    "parse_observed",
+    "read_manifest",
+    "serialize_rankings",
 ]

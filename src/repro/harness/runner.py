@@ -61,6 +61,7 @@ def make_stuck_at_simulator(
     tracer: Optional[Tracer] = None,
     word_width: Optional[int] = None,
     axis_mode: str = "auto",
+    record_responses: bool = False,
 ):
     """Build the simulator object behind a named stuck-at engine.
 
@@ -70,13 +71,18 @@ def make_stuck_at_simulator(
     simulator object and is rejected here.  ``word_width`` and
     ``axis_mode`` only apply to the word-packed engines
     (:data:`WORD_ENGINES`); other engines ignore them.
+    ``record_responses`` puts any engine into dictionary-building mode
+    (no fault dropping, full per-fault failure responses on the result).
     """
     if engine == "serial":
         raise ValueError("the serial oracle has no incremental simulator object")
     if options is None:
         options = _OPTIONS_BY_NAME.get(engine)
     if options is not None:
-        return ConcurrentFaultSimulator(circuit, faults, options, tracer=tracer)
+        return ConcurrentFaultSimulator(
+            circuit, faults, options, tracer=tracer,
+            record_responses=record_responses,
+        )
     if engine == "vsim":
         from repro.vector.kernel import VectorFaultSimulator
 
@@ -86,6 +92,7 @@ def make_stuck_at_simulator(
             word_width=word_width if word_width is not None else 64,
             axis_mode=axis_mode,
             tracer=tracer,
+            record_responses=record_responses,
         )
     if engine == "PROOFS":
         return ProofsSimulator(
@@ -93,6 +100,7 @@ def make_stuck_at_simulator(
             faults,
             word_size=word_width if word_width is not None else 64,
             tracer=tracer,
+            record_responses=record_responses,
         )
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
 
@@ -112,6 +120,7 @@ def run_stuck_at(
     record_events: bool = False,
     word_width: Optional[int] = None,
     axis_mode: str = "auto",
+    record_responses: bool = False,
 ) -> FaultSimResult:
     """Run one stuck-at engine over *tests*.
 
@@ -148,14 +157,16 @@ def run_stuck_at(
             trace_ctx=trace_ctx,
             record_events=record_events,
             word_width=word_width,
+            record_responses=record_responses,
         )
     if engine == "serial" and options is None:
         return simulate_serial(
-            circuit, tests.vectors, faults, budget=budget, tracer=tracer
+            circuit, tests.vectors, faults, budget=budget, tracer=tracer,
+            record_responses=record_responses,
         )
     simulator = make_stuck_at_simulator(
         circuit, engine, faults, options, tracer, word_width=word_width,
-        axis_mode=axis_mode,
+        axis_mode=axis_mode, record_responses=record_responses,
     )
     return simulator.run(tests, budget=budget)
 

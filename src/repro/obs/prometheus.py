@@ -216,6 +216,33 @@ def render_prometheus(snapshot: Mapping[str, object]) -> str:
         out.family("repro_cache_hit_rate", "gauge", "Cache hit fraction [0, 1].")
         out.sample("repro_cache_hit_rate", cache.get("hit_rate", 0.0))
 
+    diagnosis = snapshot.get("diagnosis")
+    if isinstance(diagnosis, Mapping):
+        out.family(
+            "repro_diagnose_requests_total",
+            "counter",
+            "Diagnosis queries by dictionary-cache outcome.",
+        )
+        out.sample(
+            "repro_diagnose_requests_total",
+            diagnosis.get("dictionary_hits", 0),
+            {"outcome": "hit"},
+        )
+        out.sample(
+            "repro_diagnose_requests_total",
+            diagnosis.get("dictionary_misses", 0),
+            {"outcome": "miss"},
+        )
+        out.family(
+            "repro_dictionaries_built_total",
+            "counter",
+            "Fault dictionaries built and encoded by workers.",
+        )
+        out.sample(
+            "repro_dictionaries_built_total",
+            diagnosis.get("dictionaries_built", 0),
+        )
+
     batch = snapshot.get("batch")
     if isinstance(batch, Mapping):
         size_counts = batch.get("size_counts", {})

@@ -68,6 +68,9 @@ class ShardTask:
     record_events: bool = False
     #: Word width for the packed engines (PROOFS/vsim); None = default.
     word_width: Optional[int] = None
+    #: Dictionary-building mode: no fault dropping, full per-fault
+    #: failure responses on the shard result (see ``repro.diagnosis``).
+    record_responses: bool = False
 
 
 def _make_cycle_clock_tracer(record_events: bool) -> "RecordingTracer":
@@ -164,6 +167,7 @@ def _run_shard(
             checkpoint_every=task.checkpoint_every,
             fingerprint_extra=task.fingerprint_extra,
             word_width=task.word_width,
+            record_responses=task.record_responses,
         )
     elif task.transition:
         result = run_transition(
@@ -184,6 +188,7 @@ def _run_shard(
             tracer=tracer,
             budget=task.budget,
             word_width=task.word_width,
+            record_responses=task.record_responses,
         )
     return result
 

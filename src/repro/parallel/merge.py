@@ -170,6 +170,21 @@ def merge_results(
         )
     )
 
+    responses = None
+    if any(part.responses is not None for part in parts):
+        # Shards hold disjoint fault populations, so the merged response
+        # map is a plain union — rebuilt sorted by fault so the dictionary
+        # bytes downstream are a pure function of the universe, never of
+        # shard count or completion order.
+        responses = dict(
+            sorted(
+                (fault, failures)
+                for part in parts
+                if part.responses is not None
+                for fault, failures in part.responses.items()
+            )
+        )
+
     truncation_reason = None
     for index, part in enumerate(parts):
         if part.truncated:
@@ -197,6 +212,7 @@ def merge_results(
         truncation_reason=truncation_reason,
         fallbacks=[dict(f) for part in parts for f in part.fallbacks],
         axis_windows=merge_axis_windows([part.axis_windows for part in parts]),
+        responses=responses,
     )
     merged.telemetry = merge_telemetry([part.telemetry for part in parts])
     return merged

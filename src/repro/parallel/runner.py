@@ -104,6 +104,7 @@ def run_parallel(
     trace_ctx: Optional[TraceContext] = None,
     record_events: bool = False,
     word_width: Optional[int] = None,
+    record_responses: bool = False,
     fingerprint_extra: tuple = (),
 ) -> FaultSimResult:
     """Run one fault-simulation campaign sharded over *jobs* workers.
@@ -190,6 +191,7 @@ def run_parallel(
                 trace_parent=trace_ctx,
                 record_events=record_events,
                 word_width=word_width,
+                record_responses=record_responses,
             )
         )
 

@@ -11,9 +11,15 @@ of interpreter noise, and a memory model in the units the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.faults.model import Fault
+
+#: One observed output mismatch: ``(cycle, po_position)`` with the cycle
+#: 1-based and ``po_position`` the index into ``circuit.outputs``.  Only
+#: definite binary disagreements with the good machine qualify — an
+#: unknown on either side never enters a response.
+Failure = Tuple[int, int]
 
 if TYPE_CHECKING:
     from repro.obs.metrics import Telemetry
@@ -100,6 +106,12 @@ class FaultSimResult:
     #: Window counts per packing axis ("fault"/"pattern") for the vector
     #: engine (see ``repro.vector``); empty for every other engine.
     axis_windows: Dict[str, int] = field(default_factory=dict)
+    #: Full output responses per fault — every ``(cycle, po_position)``
+    #: binary mismatch against the good machine, in cycle order — recorded
+    #: only when the run was asked to (``record_responses``), which also
+    #: disables fault dropping.  ``None`` for ordinary runs; the diagnosis
+    #: subsystem's dictionary builder is the consumer.
+    responses: Optional[Dict[Fault, Tuple[Failure, ...]]] = None
     #: Recorded run telemetry (:class:`repro.obs.Telemetry`) when the run
     #: was traced with a recording tracer; None otherwise.  The import is
     #: type-checking-only so this module stays import-light at runtime

@@ -73,9 +73,14 @@ def run_fingerprint(
 
 def _build_simulator(
     circuit, engine, transition, faults, options, tracer,
-    word_width=None, axis_mode="auto",
+    word_width=None, axis_mode="auto", record_responses=False,
 ):
     if transition:
+        if record_responses:
+            raise ValueError(
+                "response recording (fault dictionaries) only supports the "
+                "stuck-at model"
+            )
         simulator = TransitionFaultSimulator(
             circuit, faults, options or SimOptions(split_lists=True), tracer=tracer
         )
@@ -84,6 +89,7 @@ def _build_simulator(
     simulator = make_stuck_at_simulator(
         circuit, engine, faults, options=options, tracer=tracer,
         word_width=word_width, axis_mode=axis_mode,
+        record_responses=record_responses,
     )
     label = engine if engine in WORD_ENGINES else simulator.options.variant_name
     return simulator, label
@@ -104,6 +110,7 @@ def run_checkpointed(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     fingerprint_extra: tuple = (),
     word_width: Optional[int] = None,
+    record_responses: bool = False,
 ) -> FaultSimResult:
     """Run one fault-simulation campaign with durable progress.
 
@@ -121,7 +128,7 @@ def run_checkpointed(
     """
     simulator, label = _build_simulator(
         circuit, engine, transition, faults, options, tracer,
-        word_width=word_width,
+        word_width=word_width, record_responses=record_responses,
     )
     fingerprint = run_fingerprint(
         circuit, tests, label, simulator.faults, transition, fingerprint_extra
@@ -218,6 +225,9 @@ def run_checkpointed(
         wall_seconds=elapsed,
         truncated=truncation_reason is not None,
         truncation_reason=truncation_reason,
+        responses=(
+            simulator.responses_by_fault() if record_responses else None
+        ),
     )
     if trace is not None:
         trace.run_end(elapsed)

@@ -17,6 +17,11 @@ POST      ``/jobs/<id>/cancel``   cancel a *queued* job; ``409`` otherwise,
                                   ``410`` if the record vanished mid-cancel
 POST      ``/jobs/<id>/retry``    resurrect a ``dead`` or ``failed`` job with
                                   a fresh attempt budget; ``409`` otherwise
+POST      ``/diagnose``           rank observed failures against a fault
+                                  dictionary; ``200`` with the canonical
+                                  rankings on a warm dictionary cache,
+                                  ``202`` + ``Retry-After`` with the build
+                                  job's id on a miss, ``400`` bad query
 GET       ``/healthz``            liveness + worker/queue/reaper gauges +
                                   uptime; ``status`` flips to ``draining``
                                   after SIGTERM
@@ -143,6 +148,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         if path == "/jobs":
             self._submit()
             return
+        if path == "/diagnose":
+            self._diagnose()
+            return
         match = _CANCEL_PATH.match(path)
         if match:
             self._cancel(match.group(1))
@@ -211,6 +219,36 @@ class ServeHandler(BaseHTTPRequestHandler):
             started,
             time.time(),
             job=getattr(record, "job_id", None),
+        )
+
+    def _diagnose(self) -> None:
+        """``POST /diagnose``: rankings on a warm cache, 202 on a miss.
+
+        The 200 body is :func:`repro.diagnosis.store.diagnosis_report`'s
+        canonical bytes — byte-identical to ``repro diagnose`` for the
+        same query.  A miss lazily enqueues the dictionary build through
+        the ordinary job queue, so backpressure (429) and draining (503)
+        apply exactly as they do to ``POST /jobs``.
+        """
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, dict):
+                raise SpecError("diagnose payload must be a JSON object")
+            status, document, raw = self.service.diagnose(payload)
+        except SpecError as exc:
+            self._error(400, str(exc))
+            return
+        except QueueFull as exc:
+            self._error(429, str(exc), retry_after=1)
+            return
+        except ServiceDraining as exc:
+            self._error(503, str(exc), retry_after=5)
+            return
+        self._send(
+            status,
+            document,
+            raw=raw,
+            retry_after=(1 if status == 202 else None),
         )
 
     def _get_result(self, job_id: str) -> None:

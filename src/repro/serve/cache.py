@@ -74,6 +74,11 @@ def cache_key(
             "max_cycles": spec.max_cycles,
         },
     }
+    if spec.dictionary is not None:
+        # A dictionary job's blob is a repro-dict/1 artifact, not a
+        # detection document; the key joins only when set so plain
+        # simulation keys are unchanged.
+        material["options"]["dictionary"] = spec.dictionary
     return hashlib.sha256(_canonical(material)).hexdigest()
 
 

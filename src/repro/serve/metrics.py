@@ -46,8 +46,11 @@ LATENCY_BUCKETS = tuple(
     for base in (1.0, 2.0, 5.0)
 ) + (float("inf"),)
 
-#: The job phases the service times, in order.
-PHASES = ("queue_wait", "setup", "simulate", "serialize")
+#: The job phases the service times, in order.  ``diagnose`` covers one
+#: ``/diagnose`` query end to end; ``dictionary_build`` the encode step of
+#: a dictionary job (the simulation itself lands in ``simulate``).
+PHASES = ("queue_wait", "setup", "simulate", "serialize", "diagnose",
+          "dictionary_build")
 
 
 class LatencyHistogram:
@@ -112,6 +115,10 @@ class ServiceMetrics:
         self.reaper_last_run = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.diagnose_requests = 0
+        self.diagnose_dictionary_hits = 0
+        self.diagnose_dictionary_misses = 0
+        self.dictionaries_built = 0
         self.batches = 0
         self.batch_size_counts: Dict[int, int] = {}
         self.phase_latency: Dict[str, LatencyHistogram] = {
@@ -140,6 +147,20 @@ class ServiceMetrics:
     def cache_miss(self) -> None:
         with self._lock:
             self.cache_misses += 1
+
+    def diagnose_request(self, dictionary_hit: bool) -> None:
+        """One ``/diagnose`` query; *dictionary_hit* is the cache outcome."""
+        with self._lock:
+            self.diagnose_requests += 1
+            if dictionary_hit:
+                self.diagnose_dictionary_hits += 1
+            else:
+                self.diagnose_dictionary_misses += 1
+
+    def dictionary_built(self) -> None:
+        """A worker finished building (and encoding) a fault dictionary."""
+        with self._lock:
+            self.dictionaries_built += 1
 
     def batch(self, size: int) -> None:
         with self._lock:
@@ -254,6 +275,12 @@ class ServiceMetrics:
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,
                     "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                },
+                "diagnosis": {
+                    "requests": self.diagnose_requests,
+                    "dictionary_hits": self.diagnose_dictionary_hits,
+                    "dictionary_misses": self.diagnose_dictionary_misses,
+                    "dictionaries_built": self.dictionaries_built,
                 },
                 "batch": {
                     "count": self.batches,

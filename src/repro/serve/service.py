@@ -111,6 +111,14 @@ def classify_failure(exc: BaseException) -> str:
         return "permanent"
     if isinstance(exc, (OSError, CheckpointError)):
         return "transient"
+    from repro.diagnosis.dictionary import DictionaryBuildTruncated
+
+    if isinstance(exc, DictionaryBuildTruncated):
+        # The build's per-shard checkpoints are on disk; the retry resumes
+        # from them and stands a real chance of finishing inside the
+        # budget.  A deterministic max_cycles truncation dead-letters
+        # after the attempt budget instead of spinning forever.
+        return "transient"
     try:
         from repro.robust.chaos import ChaosError
     except ImportError:  # pragma: no cover - chaos ships with the package
@@ -733,7 +741,7 @@ class FaultSimService:
             simulate_wall = time.time()
             sim_ctx = root.child() if root is not None else None
             result = self._simulate(record, spec, resolved, sim_ctx, heartbeat)
-            if resolved.collapsed is not None:
+            if spec.dictionary is None and resolved.collapsed is not None:
                 # Representatives -> full universe, so the serialized blob
                 # is what a full-universe submission would have produced.
                 # Dominance proposals are oracle-confirmed before the blob
@@ -763,7 +771,10 @@ class FaultSimService:
 
             serialize_started = time.perf_counter()
             serialize_wall = time.time()
-            blob = serialize_result(result, resolved.circuit)
+            if spec.dictionary is not None:
+                blob = self._encode_dictionary(spec, resolved, result)
+            else:
+                blob = serialize_result(result, resolved.circuit)
             self.store.write_result(record.job_id, blob)
             if self.spans is not None and root is not None:
                 self.spans.emit(
@@ -779,7 +790,13 @@ class FaultSimService:
             self.metrics.phase(
                 "serialize", time.perf_counter() - serialize_started
             )
-            record.summary = result.summary()
+            if spec.dictionary is not None:
+                self.metrics.phase(
+                    "dictionary_build", time.perf_counter() - serialize_started
+                )
+                record.summary = _dictionary_summary(blob)
+            else:
+                record.summary = result.summary()
             self._finish(
                 record, blob, cache_hit=False, counters=result.counters, owner=owner
             )
@@ -939,6 +956,16 @@ class FaultSimService:
             if resolved.collapsed is not None
             else ()
         )
+        record_responses = spec.dictionary is not None
+        if record_responses:
+            # PROOFS/vsim checkpoint labels do not distinguish recording
+            # runs from dropping ones, so the prefix keeps a dictionary
+            # build's checkpoints from ever seeding (or being seeded by) a
+            # plain detection job over the same inputs.
+            fingerprint_extra = (
+                "diagnosis-dictionary",
+                spec.dictionary,
+            ) + fingerprint_extra
         if spec.engine == "serial" and not spec.transition:
             # The serial oracle has no snapshot support: no checkpoints.
             from repro.harness.runner import run_stuck_at
@@ -950,6 +977,7 @@ class FaultSimService:
                 faults=resolved.faults,
                 tracer=heartbeat,
                 budget=budget,
+                record_responses=record_responses,
             )
         checkpoint_path = self._checkpoint_path(record.job_id)
         # Resume whenever a valid checkpoint exists: retries (attempts > 1)
@@ -976,6 +1004,7 @@ class FaultSimService:
                 trace_dir=self.config.trace_dir if trace_ctx is not None else None,
                 trace_ctx=trace_ctx,
                 word_width=spec.word_width,
+                record_responses=record_responses,
                 fingerprint_extra=fingerprint_extra,
             )
         from repro.robust.runner import run_checkpointed
@@ -993,8 +1022,111 @@ class FaultSimService:
             resume=resume,
             checkpoint_every=self.config.checkpoint_every,
             word_width=spec.word_width,
+            record_responses=record_responses,
             fingerprint_extra=fingerprint_extra,
         )
+
+    def _encode_dictionary(
+        self, spec: JobSpec, resolved: ResolvedJob, result: FaultSimResult
+    ) -> bytes:
+        """Encode a finished dictionary build as a ``repro-dict/1`` artifact.
+
+        A truncated run carries incomplete response signatures, which a
+        dictionary must never contain: the build fails *transiently*
+        (:func:`classify_failure`) and the retry resumes from the run's
+        checkpoints instead of shipping a partial artifact.
+        """
+        from repro.diagnosis.dictionary import DictionaryBuildTruncated
+        from repro.diagnosis.store import encode_dictionary
+
+        if result.truncated:
+            raise DictionaryBuildTruncated(
+                f"dictionary build stopped early ({result.truncation_reason}); "
+                "checkpoints (if any) remain for resume"
+            )
+        responses = result.responses
+        assert responses is not None  # _simulate ran with record_responses
+        if resolved.collapsed is not None:
+            responses = resolved.collapsed.expand_responses(responses)
+        assert spec.dictionary is not None
+        blob = encode_dictionary(
+            resolved.circuit.name,
+            len(resolved.tests),
+            responses,
+            spec.dictionary,
+            collapse=spec.collapse,
+        )
+        self.metrics.dictionary_built()
+        return blob
+
+    # -- diagnosis ------------------------------------------------------
+
+    def diagnose(
+        self, payload: dict
+    ) -> Tuple[int, Optional[dict], Optional[bytes]]:
+        """One ``/diagnose`` query; returns ``(status, document, raw)``.
+
+        The payload is a job spec plus the query fields ``failures``
+        (required), ``top`` and ``explain``; ``dictionary`` defaults to
+        ``"full"`` and ``collapse`` to ``"equivalence"``.  On a warm
+        dictionary cache the answer is 200 with the canonical rankings
+        bytes — the same bytes ``repro diagnose`` prints for the same
+        query.  On a miss the dictionary build is enqueued through the
+        ordinary job queue (idempotently, keyed by the dictionary's cache
+        key, so concurrent misses share one build) and the answer is 202
+        with the job id to poll.
+        """
+        started = time.perf_counter()
+        query = dict(payload)
+        failures = query.pop("failures", None)
+        if not isinstance(failures, list):
+            raise SpecError("'failures' must be a list of observed failures")
+        top = query.pop("top", 10)
+        if isinstance(top, bool) or not isinstance(top, int) or top < 1:
+            raise SpecError("'top' must be a positive integer")
+        explain = query.pop("explain", False)
+        if not isinstance(explain, bool):
+            raise SpecError("'explain' must be a boolean")
+        query.setdefault("dictionary", "full")
+        query.setdefault("collapse", "equivalence")
+        spec = JobSpec.from_payload(query)
+        assert spec.dictionary is not None  # defaulted above
+        from repro.diagnosis.store import (
+            decode_dictionary,
+            diagnosis_report,
+            parse_observed,
+        )
+
+        try:
+            observed = parse_observed(spec.dictionary, failures)
+        except ValueError as exc:
+            raise SpecError(str(exc)) from None
+        resolved = self.resolver.resolve(spec)
+        key = cache_key(spec, resolved.circuit, resolved.tests, resolved.faults)
+        blob = self.cache.get(key)
+        if blob is None:
+            self.metrics.diagnose_request(dictionary_hit=False)
+            build = dict(query)
+            build.setdefault("idempotency_key", f"dict-build:{key}")
+            record, created = self.submit(build)
+            document = {
+                "status": "building",
+                "job": record.job_id,
+                "created": created,
+                "cache_key": key,
+            }
+            return 202, document, None
+        self.metrics.diagnose_request(dictionary_hit=True)
+        body = diagnosis_report(
+            resolved.circuit,
+            resolved.tests,
+            decode_dictionary(blob),
+            observed,
+            top=top,
+            explain=explain,
+        )
+        self.metrics.phase("diagnose", time.perf_counter() - started)
+        return 200, None, body
 
     def _note_resume(self, record: JobRecord, checkpoint_path: str) -> bool:
         """Whether a retry can resume, recording the resume cycle."""
@@ -1018,11 +1150,26 @@ class FaultSimService:
                 pass
 
 
+def _dictionary_summary(blob: bytes) -> str:
+    from repro.diagnosis.store import read_manifest
+
+    manifest = read_manifest(blob)
+    return (
+        f"dictionary[{manifest['kind']}]: "
+        f"{manifest['num_detected']}/{manifest['num_faults']} faults detected "
+        f"over {manifest['num_vectors']} vectors"
+    )
+
+
 def _summary_from_blob(blob: bytes, cached: bool) -> str:
     document = json.loads(blob)
-    text = (
-        f"{document['engine']}: {document['num_detected']}/{document['num_faults']} "
-        f"faults ({100.0 * document['coverage']:.2f}%) in "
-        f"{document['num_vectors']} vectors"
-    )
+    if isinstance(document, dict) and document.get("schema") == "repro-dict/1":
+        text = _dictionary_summary(blob)
+    else:
+        text = (
+            f"{document['engine']}: "
+            f"{document['num_detected']}/{document['num_faults']} "
+            f"faults ({100.0 * document['coverage']:.2f}%) in "
+            f"{document['num_vectors']} vectors"
+        )
     return f"{text} [cache hit]" if cached else text

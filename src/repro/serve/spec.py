@@ -82,6 +82,7 @@ _KNOWN_KEYS = frozenset(
         "transition",
         "prune_untestable",
         "collapse",
+        "dictionary",
         "sanitize",
         "max_cycles",
         "jobs",
@@ -124,6 +125,14 @@ class JobSpec:
     #: uncollapsed submission resolve different fault lists and must never
     #: alias.
     collapse: Optional[str] = None
+    #: Fault-dictionary build (``"full"``/``"passfail"``) or ``None`` for
+    #: a plain simulation.  A dictionary job runs in ``record_responses``
+    #: mode (no fault dropping, full per-fault failure responses) and its
+    #: result blob is a ``repro-dict/1`` artifact instead of a detection
+    #: document, so the format *is* part of the cache identity.  Stuck-at
+    #: only, and incompatible with dominance collapsing (dominance argues
+    #: detection, never the response shape).
+    dictionary: Optional[str] = None
     #: Arm the fault-list invariant sanitizer (concurrent engines only).
     #: Purely a self-check — it never changes detections — so, like
     #: ``word_width``, it is *not* part of the cache identity.
@@ -175,6 +184,23 @@ class JobSpec:
             raise SpecError(
                 "'collapse' must be 'equivalence' or 'dominance'"
             )
+        dictionary = _opt_str(payload, "dictionary")
+        if dictionary is not None:
+            from repro.diagnosis.dictionary import DICTIONARY_KINDS
+
+            if dictionary not in DICTIONARY_KINDS:
+                raise SpecError(
+                    f"'dictionary' must be one of {DICTIONARY_KINDS}"
+                )
+            if transition:
+                raise SpecError(
+                    "fault dictionaries only support the stuck-at model"
+                )
+            if collapse == "dominance":
+                raise SpecError(
+                    "dictionary builds need exact response attribution; "
+                    "'collapse' must be 'equivalence' (or omitted)"
+                )
         sanitize = _opt_bool(payload, "sanitize")
         if sanitize and not transition and engine_options(engine) is None:
             raise SpecError(
@@ -222,6 +248,7 @@ class JobSpec:
             transition=transition,
             prune_untestable=_opt_bool(payload, "prune_untestable"),
             collapse=collapse,
+            dictionary=dictionary,
             sanitize=sanitize,
             max_cycles=max_cycles,
             jobs=jobs,
@@ -255,6 +282,8 @@ class JobSpec:
             payload["seed"] = self.seed
         if self.collapse is not None:
             payload["collapse"] = self.collapse
+        if self.dictionary is not None:
+            payload["dictionary"] = self.dictionary
         if self.sanitize:
             payload["sanitize"] = self.sanitize
         if self.max_cycles is not None:

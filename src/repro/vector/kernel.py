@@ -83,6 +83,8 @@ class VectorFaultSimulator(ProofsSimulator):
     the work profile differs.
     """
 
+    engine_name = ENGINE_NAME
+
     def __init__(
         self,
         circuit: Circuit,
@@ -92,6 +94,7 @@ class VectorFaultSimulator(ProofsSimulator):
         crossover: Optional[int] = None,
         use_numpy: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
+        record_responses: bool = False,
     ) -> None:
         if word_width < 1:
             raise ValueError(f"word width must be >= 1, got {word_width}")
@@ -113,7 +116,13 @@ class VectorFaultSimulator(ProofsSimulator):
             word_width, mode=axis_mode, crossover=crossover, dense=use_numpy
         )
         self.use_numpy = use_numpy
-        super().__init__(circuit, faults, word_size=word_width, tracer=tracer)
+        super().__init__(
+            circuit,
+            faults,
+            word_size=word_width,
+            tracer=tracer,
+            record_responses=record_responses,
+        )
 
     def reset(self) -> None:
         super().reset()
@@ -140,6 +149,16 @@ class VectorFaultSimulator(ProofsSimulator):
     # ------------------------------------------------------------------
 
     def run(self, vectors: Iterable[Sequence[int]], budget: Any = None) -> FaultSimResult:
+        if self.record_responses:
+            # Dictionary-building mode records per-cycle output mismatches,
+            # which only the per-cycle (fault-axis) path observes — pattern
+            # windows judge detection on whole words.  Delegate to the
+            # inherited PROOFS loop; ``step()`` is the same code the
+            # checkpointed runner drives, so recording composes with
+            # snapshots unchanged.
+            result = super().run(vectors, budget=budget)
+            result.axis_windows = dict(self.axis_windows)
+            return result
         trace = self.tracer
         if trace is not None:
             trace.run_start(ENGINE_NAME, self.circuit.name)

@@ -1,0 +1,592 @@
+"""Diagnosis subsystem tests: sharded builds, artifacts, ``/diagnose``.
+
+Covers the production promises of :mod:`repro.diagnosis`:
+
+* ranking semantics of :func:`repro.diagnosis.locate.diagnose`;
+* dictionary invariance — same signatures whatever the engine, the
+  ``--jobs`` shard count, or collapsed-vs-full construction (seeded and
+  hypothesis-driven);
+* ``repro-dict/1`` artifact round-trips and content addressing;
+* mid-build interruption: a budget-truncated build raises instead of
+  returning a partial dictionary, and the resumed build is bit-identical
+  to an uninterrupted one;
+* the serve layer: lazy dictionary builds through the job queue,
+  ``/diagnose`` over HTTP, and CLI/service byte-identity;
+* causal explanations' divergence chains.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.generate import random_circuit
+from repro.circuit.library import load
+from repro.diagnosis import (
+    DictionaryBuildTruncated,
+    build_dictionary,
+    build_responses,
+    diagnose,
+    explain_fault,
+)
+from repro.diagnosis.dictionary import FullResponseDictionary, PassFailDictionary
+from repro.diagnosis.locate import Candidate
+from repro.diagnosis.store import (
+    DictionaryDecodeError,
+    decode_dictionary,
+    decode_responses,
+    diagnosis_report,
+    dictionary_fingerprint,
+    encode_dictionary,
+    parse_observed,
+    read_dictionary,
+    read_manifest,
+    write_dictionary,
+)
+from repro.faults.model import StuckAtFault
+from repro.faults.universe import all_stuck_at_faults
+from repro.patterns.random_gen import random_sequence
+from repro.robust.budget import Budget
+from repro.serve import FaultSimService, ServeConfig, SpecError
+
+
+@pytest.fixture(scope="module")
+def s27():
+    circuit = load("s27")
+    tests = random_sequence(circuit, 40, seed=3)
+    return circuit, tests
+
+
+@pytest.fixture(scope="module")
+def s27_dictionary(s27):
+    circuit, tests = s27
+    return build_dictionary(circuit, tests)
+
+
+def make_service(tmp_path, **overrides):
+    overrides.setdefault("workers", 0)
+    config = ServeConfig(state_dir=str(tmp_path / "state"), **overrides)
+    return FaultSimService(config)
+
+
+DIAGNOSE_QUERY = {
+    "circuit": "s27",
+    "random_patterns": 40,
+    "seed": 3,
+    "failures": [[5, 0]],
+}
+
+
+class TestLocate:
+    """Unit tests of the ranking math, on a hand-built dictionary."""
+
+    def dictionary(self):
+        f1 = StuckAtFault.make(1, -1, 0)
+        f2 = StuckAtFault.make(2, -1, 1)
+        f3 = StuckAtFault.make(3, 0, 0)
+        undetected = StuckAtFault.make(4, -1, 1)
+        return FullResponseDictionary(
+            circuit_name="toy",
+            num_vectors=8,
+            signatures={
+                f1: frozenset({(1, 0), (2, 0)}),
+                f2: frozenset({(1, 0), (2, 0), (3, 1)}),
+                f3: frozenset({(7, 1)}),
+                undetected: frozenset(),
+            },
+        )
+
+    def test_exact_match_ranks_first(self):
+        result = diagnose(self.dictionary(), [(1, 0), (2, 0)])
+        assert result.best.exact
+        assert result.best.score == 1.0
+        assert result.best.fault == StuckAtFault.make(1, -1, 0)
+        assert result.exact_candidates == [StuckAtFault.make(1, -1, 0)]
+
+    def test_partial_observation_tolerated(self):
+        # One observed failure out of f2's three: still a candidate, with
+        # the unobserved predictions counted as 'extra', not 'missed'.
+        result = diagnose(self.dictionary(), [(3, 1)])
+        assert result.best.fault == StuckAtFault.make(2, -1, 1)
+        assert result.best.matched == 1
+        assert result.best.missed == 0
+        assert result.best.extra == 2
+        assert result.best.score == pytest.approx(1 / 3)
+
+    def test_missed_failures_penalized(self):
+        # (9, 9) is observed but predicted by nobody: it lands in 'missed'
+        # and drags every score below exact.
+        result = diagnose(self.dictionary(), [(1, 0), (2, 0), (9, 9)])
+        assert not result.best.exact
+        assert result.best.fault == StuckAtFault.make(1, -1, 0)
+        assert result.best.missed == 1
+        assert result.best.score == pytest.approx(2 / 3)
+
+    def test_disjoint_and_undetected_faults_excluded(self):
+        result = diagnose(self.dictionary(), [(7, 1)])
+        faults = [c.fault for c in result.candidates]
+        assert faults == [StuckAtFault.make(3, 0, 0)]
+
+    def test_top_limits_candidates(self):
+        result = diagnose(self.dictionary(), [(1, 0)], top=1)
+        assert len(result.candidates) == 1
+
+    def test_ordering_is_score_then_fault(self):
+        result = diagnose(self.dictionary(), [(1, 0), (2, 0), (3, 1)])
+        scores = [c.score for c in result.candidates]
+        assert scores == sorted(scores, reverse=True)
+        assert result.best.fault == StuckAtFault.make(2, -1, 1)
+
+    def test_no_candidates_summary(self):
+        result = diagnose(self.dictionary(), [(42, 0)])
+        assert result.candidates == ()
+        assert result.summary() == "no candidates"
+        with pytest.raises(ValueError):
+            result.best
+
+    def test_candidate_fields_frozen(self):
+        candidate = Candidate(
+            fault=StuckAtFault.make(1, -1, 0),
+            score=1.0,
+            exact=True,
+            matched=1,
+            missed=0,
+            extra=0,
+        )
+        with pytest.raises(Exception):
+            candidate.score = 0.5
+
+
+class TestDictionaryInvariance:
+    """Same dictionary bytes whatever built it (the acceptance criterion)."""
+
+    @pytest.mark.parametrize("engine", ["csim", "PROOFS", "vsim", "serial"])
+    def test_engine_invariant(self, s27, s27_dictionary, engine):
+        circuit, tests = s27
+        other = build_dictionary(circuit, tests, engine=engine)
+        assert other.signatures == s27_dictionary.signatures
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_sharded_collapsed_equals_serial_full(self, s27, jobs, tmp_path):
+        circuit, tests = s27
+        universe = all_stuck_at_faults(circuit)
+        serial_full = build_dictionary(
+            circuit, tests, universe, engine="serial", collapse=None
+        )
+        sharded = build_dictionary(
+            circuit,
+            tests,
+            universe,
+            jobs=jobs,
+            checkpoint_path=str(tmp_path / "build.ckpt"),
+        )
+        assert sharded.signatures == serial_full.signatures
+        blob_a = encode_dictionary(
+            circuit.name,
+            len(tests),
+            build_responses(circuit, tests, universe, collapse=None),
+            collapse=None,
+        )
+        blob_b = encode_dictionary(
+            circuit.name,
+            len(tests),
+            build_responses(circuit, tests, universe, jobs=jobs),
+            collapse=None,
+        )
+        assert blob_a == blob_b
+
+    def test_collapsed_default_covers_full_universe(self, s27, s27_dictionary):
+        circuit, _tests = s27
+        assert set(s27_dictionary.signatures) == set(all_stuck_at_faults(circuit))
+
+    def test_passfail_folds_full(self, s27, s27_dictionary):
+        circuit, tests = s27
+        passfail = build_dictionary(circuit, tests, kind="passfail")
+        assert isinstance(passfail, PassFailDictionary)
+        for fault, signature in s27_dictionary.signatures.items():
+            assert passfail.signature(fault) == frozenset(
+                cycle for cycle, _ in signature
+            )
+
+
+SMALL = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestHypothesisInvariance:
+    @SMALL
+    @given(
+        seed=st.integers(0, 2**16),
+        engine=st.sampled_from(["csim", "csim-MV", "PROOFS", "vsim"]),
+        kind=st.sampled_from(["full", "passfail"]),
+    )
+    def test_engine_and_collapse_invariant(self, seed, engine, kind):
+        rng = random.Random(seed)
+        circuit = random_circuit(
+            rng, num_gates=12, num_dffs=2, name=f"dict{seed}"
+        )
+        tests = random_sequence(circuit, 12, seed=seed)
+        reference = build_dictionary(circuit, tests, kind=kind)
+        collapsed = build_dictionary(circuit, tests, kind=kind, engine=engine)
+        full = build_dictionary(
+            circuit,
+            tests,
+            all_stuck_at_faults(circuit),
+            kind=kind,
+            engine=engine,
+            collapse=None,
+        )
+        assert collapsed.signatures == reference.signatures
+        assert full.signatures == reference.signatures
+
+
+class TestArtifacts:
+    def test_round_trip(self, s27):
+        circuit, tests = s27
+        responses = build_responses(circuit, tests)
+        blob = encode_dictionary(
+            circuit.name, len(tests), responses, collapse="equivalence"
+        )
+        assert decode_responses(blob) == responses
+        manifest = read_manifest(blob)
+        assert manifest["circuit"] == "s27"
+        assert manifest["kind"] == "full"
+        assert manifest["collapse"] == "equivalence"
+        assert manifest["num_faults"] == len(responses)
+        decoded = decode_dictionary(blob)
+        assert decoded.signatures == build_dictionary(circuit, tests).signatures
+
+    def test_encoding_is_canonical(self, s27):
+        circuit, tests = s27
+        responses = build_responses(circuit, tests)
+        shuffled = dict(reversed(list(responses.items())))
+        assert encode_dictionary(
+            circuit.name, len(tests), responses
+        ) == encode_dictionary(circuit.name, len(tests), shuffled)
+
+    def test_kind_override_on_decode(self, s27):
+        circuit, tests = s27
+        blob = encode_dictionary(
+            circuit.name, len(tests), build_responses(circuit, tests)
+        )
+        passfail = decode_dictionary(blob, kind="passfail")
+        assert passfail.kind == "passfail"
+        assert passfail.signatures == build_dictionary(
+            circuit, tests, kind="passfail"
+        ).signatures
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(DictionaryDecodeError):
+            decode_dictionary(b"not json")
+        with pytest.raises(DictionaryDecodeError):
+            decode_dictionary(b'{"schema": "other/1"}\n')
+        torn = json.dumps(
+            {"schema": "repro-dict/1", "manifest": {}, "faults": [[1, -1, "SA0"]],
+             "responses": []}
+        ).encode()
+        with pytest.raises(DictionaryDecodeError):
+            decode_dictionary(torn)
+
+    def test_write_read_atomic(self, s27, tmp_path):
+        circuit, tests = s27
+        blob = encode_dictionary(
+            circuit.name, len(tests), build_responses(circuit, tests)
+        )
+        path = str(tmp_path / "artifacts" / "s27.dict")
+        write_dictionary(path, blob)
+        assert read_dictionary(path) == blob
+        assert not [p for p in os.listdir(tmp_path / "artifacts") if ".tmp" in p]
+
+    def test_fingerprint_sensitivity(self, s27):
+        circuit, tests = s27
+        universe = all_stuck_at_faults(circuit)
+        base = dictionary_fingerprint(circuit, tests.vectors, universe)
+        assert dictionary_fingerprint(circuit, tests.vectors, universe) == base
+        assert (
+            dictionary_fingerprint(circuit, tests.vectors, universe, kind="passfail")
+            != base
+        )
+        assert (
+            dictionary_fingerprint(circuit, tests.vectors[:-1], universe) != base
+        )
+        assert (
+            dictionary_fingerprint(circuit, tests.vectors, universe[:-1]) != base
+        )
+
+
+class TestInterruptedBuild:
+    def test_truncated_build_raises_then_resumes_bit_identical(
+        self, s27, tmp_path
+    ):
+        circuit, tests = s27
+        checkpoint = str(tmp_path / "dict.ckpt")
+        with pytest.raises(DictionaryBuildTruncated):
+            build_dictionary(
+                circuit,
+                tests,
+                checkpoint_path=checkpoint,
+                checkpoint_every=8,
+                budget=Budget(max_cycles=20),
+            )
+        # The budget struck mid-build: durable shard progress must exist.
+        assert [p for p in os.listdir(tmp_path) if p.startswith("dict.ckpt")]
+        resumed = build_dictionary(
+            circuit,
+            tests,
+            checkpoint_path=checkpoint,
+            checkpoint_every=8,
+            resume=True,
+        )
+        uninterrupted = build_dictionary(circuit, tests)
+        assert resumed.signatures == uninterrupted.signatures
+
+    def test_truncated_serial_build_raises(self, s27):
+        circuit, tests = s27
+        with pytest.raises(DictionaryBuildTruncated):
+            build_dictionary(circuit, tests, budget=Budget(max_cycles=10))
+
+    def test_rejects_dominance_collapse(self, s27):
+        circuit, tests = s27
+        with pytest.raises(ValueError, match="equivalence"):
+            build_dictionary(circuit, tests, collapse="dominance")
+
+
+class TestServeDiagnose:
+    def test_miss_builds_then_hit_serves(self, tmp_path):
+        service = make_service(tmp_path)
+        status, document, raw = service.diagnose(dict(DIAGNOSE_QUERY))
+        assert status == 202
+        assert document["status"] == "building"
+        assert raw is None
+        assert service.drain() == 1
+        record = service.status(document["job"])
+        assert record.state == "done"
+        assert record.summary.startswith("dictionary[full]")
+        status, document, raw = service.diagnose(dict(DIAGNOSE_QUERY))
+        assert status == 200
+        report = json.loads(raw)
+        assert report["schema"] == "repro-diagnosis/1"
+        assert report["candidates"]
+        snapshot = service.metrics_snapshot()["diagnosis"]
+        assert snapshot == {
+            "requests": 2,
+            "dictionary_hits": 1,
+            "dictionary_misses": 1,
+            "dictionaries_built": 1,
+        }
+
+    def test_concurrent_misses_share_one_build(self, tmp_path):
+        service = make_service(tmp_path)
+        _, first, _ = service.diagnose(dict(DIAGNOSE_QUERY))
+        _, second, _ = service.diagnose(dict(DIAGNOSE_QUERY, failures=[[9, 0]]))
+        assert first["job"] == second["job"]
+        assert second["created"] is False
+
+    def test_rankings_match_direct_library_call(self, tmp_path, s27):
+        circuit, tests = s27
+        service = make_service(tmp_path)
+        service.diagnose(dict(DIAGNOSE_QUERY))
+        service.drain()
+        _, _, raw = service.diagnose(dict(DIAGNOSE_QUERY))
+        direct = diagnosis_report(
+            circuit,
+            tests,
+            build_dictionary(circuit, tests),
+            parse_observed("full", DIAGNOSE_QUERY["failures"]),
+        )
+        assert raw == direct
+
+    def test_bad_queries_rejected(self, tmp_path):
+        service = make_service(tmp_path)
+        for payload in (
+            {"circuit": "s27"},  # no failures
+            dict(DIAGNOSE_QUERY, failures="5:0"),  # not a list
+            dict(DIAGNOSE_QUERY, failures=[[5]]),  # not a pair
+            dict(DIAGNOSE_QUERY, failures=[5]),  # full kind needs pairs
+            dict(DIAGNOSE_QUERY, top=0),
+            dict(DIAGNOSE_QUERY, explain="yes"),
+            dict(DIAGNOSE_QUERY, dictionary="tiny"),
+            dict(DIAGNOSE_QUERY, collapse="dominance"),
+            dict(DIAGNOSE_QUERY, transition=True),
+        ):
+            with pytest.raises(SpecError):
+                service.diagnose(payload)
+
+    def test_dictionary_key_in_cache_key(self, tmp_path):
+        # A dictionary build must never collide with a plain detection job
+        # over the same inputs — they serialize different documents.
+        service = make_service(tmp_path)
+        spec = {"circuit": "s27", "random_patterns": 40, "seed": 3}
+        record_plain, _ = service.submit(dict(spec))
+        record_dict, _ = service.submit(dict(spec, dictionary="full"))
+        assert record_plain.cache_key != record_dict.cache_key
+        assert service.drain() == 2
+        plain = json.loads(service.result_bytes(record_plain.job_id))
+        built = json.loads(service.result_bytes(record_dict.job_id))
+        assert "engine" in plain
+        assert built["schema"] == "repro-dict/1"
+
+    def test_truncated_dictionary_job_retries_then_dead_letters(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            max_attempts=2,
+            retry_backoff_base=0.0,
+            retry_jitter=0.0,
+        )
+        record, _ = service.submit(
+            {
+                "circuit": "s27",
+                "random_patterns": 40,
+                "seed": 3,
+                "dictionary": "full",
+                "max_cycles": 15,
+            }
+        )
+        service.drain()
+        first = service.status(record.job_id)
+        assert first.state == "queued"  # transient: re-queued with backoff
+        assert first.error_history
+        service.reap()  # pushes the backoff retry
+        service.drain()
+        final = service.status(record.job_id)
+        assert final.state == "dead"
+        # The second attempt resumed from the first attempt's checkpoint.
+        assert final.resumed_from_cycle is not None
+
+    def test_passfail_dictionary_query(self, tmp_path):
+        service = make_service(tmp_path)
+        query = dict(DIAGNOSE_QUERY, dictionary="passfail", failures=[5, 11])
+        status, document, _ = service.diagnose(dict(query))
+        assert status == 202
+        service.drain()
+        status, _, raw = service.diagnose(dict(query))
+        assert status == 200
+        assert json.loads(raw)["kind"] == "passfail"
+
+
+class TestEndToEndRoundTrip:
+    def test_every_fault_diagnoses_to_itself(self, s27, s27_dictionary):
+        """The acceptance round-trip: each fault's own simulated responses
+        rank it at the top (exactly, up to equivalence resolution)."""
+        for fault in s27_dictionary.detected_faults():
+            result = diagnose(
+                s27_dictionary,
+                s27_dictionary.signature(fault),
+                top=len(s27_dictionary),
+            )
+            assert result.best.exact
+            assert result.best.score == 1.0
+            assert fault in result.exact_candidates
+
+    def test_cli_and_service_rankings_byte_identical(self, tmp_path):
+        service = make_service(tmp_path)
+        service.diagnose(dict(DIAGNOSE_QUERY))
+        service.drain()
+        status, _, service_bytes = service.diagnose(dict(DIAGNOSE_QUERY))
+        assert status == 200
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "diagnose",
+                "s27",
+                "--random-patterns",
+                "40",
+                "--seed",
+                "3",
+                "--failures",
+                "5:0",
+            ],
+            capture_output=True,
+            env=env,
+            check=True,
+        )
+        assert completed.stdout == service_bytes
+
+    def test_cli_artifact_cache_round_trip(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        artifact = str(tmp_path / "s27.dict")
+        build = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "build-dictionary", "s27",
+                "--random-patterns", "40", "--seed", "3", "-o", artifact,
+            ],
+            capture_output=True, env=env, check=True,
+        )
+        assert b"dictionary[full]" in build.stdout
+        args = [
+            sys.executable, "-m", "repro", "diagnose", "s27",
+            "--random-patterns", "40", "--seed", "3", "--failures", "5:0",
+        ]
+        fresh = subprocess.run(args, capture_output=True, env=env, check=True)
+        cached = subprocess.run(
+            args + ["--dictionary", artifact],
+            capture_output=True, env=env, check=True,
+        )
+        assert cached.stdout == fresh.stdout
+        assert b"loaded from" in cached.stderr
+
+
+class TestExplain:
+    def test_chain_reaches_observed_outputs(self, s27, s27_dictionary):
+        circuit, tests = s27
+        fault = s27_dictionary.detected_faults()[0]
+        explanation = explain_fault(circuit, tests, fault)
+        assert explanation.fault == fault
+        assert explanation.detected_cycle is not None
+        assert explanation.steps
+        # The chain's failing outputs are exactly the dictionary signature.
+        assert frozenset(explanation.responses) == s27_dictionary.signature(
+            fault
+        )
+        failing_cycles = {
+            step.cycle for step in explanation.steps if step.failing_outputs
+        }
+        assert failing_cycles == {c for c, _ in explanation.responses}
+        # Divergence precedes (or coincides with) first detection.
+        first_active = explanation.steps[0].cycle
+        assert first_active <= explanation.detected_cycle
+
+    def test_payload_and_render(self, s27, s27_dictionary):
+        circuit, tests = s27
+        fault = s27_dictionary.detected_faults()[0]
+        explanation = explain_fault(circuit, tests, fault)
+        payload = explanation.to_payload()
+        assert payload["fault"] == explanation.fault_label
+        assert payload["text"] == explanation.render()
+        assert "diverges at" in payload["text"]
+        assert json.dumps(payload)  # JSON-ready
+
+    def test_rejects_non_concurrent_engines(self, s27):
+        circuit, tests = s27
+        fault = StuckAtFault.make(5, -1, 1)
+        for engine in ("serial", "PROOFS", "vsim"):
+            with pytest.raises(ValueError, match="concurrent"):
+                explain_fault(circuit, tests, fault, engine=engine)
+
+    def test_explained_report_stays_canonical(self, s27, s27_dictionary):
+        circuit, tests = s27
+        fault = s27_dictionary.detected_faults()[0]
+        observed = sorted(s27_dictionary.signature(fault))
+        plain = diagnosis_report(circuit, tests, s27_dictionary, observed)
+        explained = diagnosis_report(
+            circuit, tests, s27_dictionary, observed, explain=True
+        )
+        plain_doc = json.loads(plain)
+        explained_doc = json.loads(explained)
+        assert "explain" not in plain_doc
+        explained_doc.pop("explain")
+        assert explained_doc == plain_doc

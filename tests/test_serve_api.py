@@ -323,3 +323,53 @@ class TestResiliencePlane:
         status, document = client.post_json(f"/jobs/{record['job_id']}/cancel")
         assert status == 410
         assert "removed" in document["error"]
+
+
+DIAGNOSE = {
+    "circuit": "s27",
+    "random_patterns": 32,
+    "seed": 11,
+    "failures": [[5, 0]],
+}
+
+
+class TestDiagnoseEndpoint:
+    def test_miss_builds_then_hit_serves_over_http(self, serving):
+        _, client = serving
+        status, headers, body = client.post("/diagnose", dict(DIAGNOSE))
+        assert status == 202
+        assert headers.get("Retry-After") == "1"
+        document = json.loads(body)
+        assert document["status"] == "building"
+        record = client.wait_done(document["job"])
+        assert record["state"] == "done"
+        status, _, body = client.post("/diagnose", dict(DIAGNOSE))
+        assert status == 200
+        report = json.loads(body)
+        assert report["schema"] == "repro-diagnosis/1"
+        assert report["candidates"]
+        # The raw body is the canonical serializer's output, verbatim.
+        assert body.endswith(b"\n")
+
+    def test_bad_queries_get_400(self, serving):
+        _, client = serving
+        for payload in (
+            {"circuit": "s27"},
+            dict(DIAGNOSE, failures=[[5]]),
+            dict(DIAGNOSE, top=0),
+            dict(DIAGNOSE, dictionary="tiny"),
+        ):
+            status, _, body = client.post("/diagnose", payload)
+            assert status == 400
+            assert "error" in json.loads(body)
+
+    def test_queue_full_gets_429(self, backlogged):
+        _, client = backlogged
+        for index in range(2):
+            status, _, _ = client.post(
+                "/jobs", {"circuit": "s27", "random_patterns": 4, "seed": index}
+            )
+            assert status == 201
+        status, headers, _ = client.post("/diagnose", dict(DIAGNOSE))
+        assert status == 429
+        assert headers.get("Retry-After") == "1"
